@@ -1,0 +1,83 @@
+// Command ddiosim runs a single disk-directed-I/O experiment and prints
+// its throughput and substrate metrics.
+//
+// Example:
+//
+//	ddiosim -method ddio-sort -pattern rc -layout random -record 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ddio/internal/exp"
+	"ddio/internal/pfs"
+)
+
+func main() {
+	cfg := exp.DefaultConfig()
+	method := flag.String("method", "tc", "file system: tc | ddio | ddio-sort | 2phase")
+	pattern := flag.String("pattern", "ra", "access pattern (ra rn rb rc rnb rbb rcb rbc rcc rcn, w...)")
+	layout := flag.String("layout", "random", "disk layout: contiguous | random")
+	flag.IntVar(&cfg.NCP, "cps", cfg.NCP, "number of compute processors")
+	flag.IntVar(&cfg.NIOP, "iops", cfg.NIOP, "number of I/O processors (one bus each)")
+	flag.IntVar(&cfg.NDisks, "disks", cfg.NDisks, "number of disks")
+	fileMB := flag.Int64("filemb", 10, "file size in MiB")
+	flag.IntVar(&cfg.RecordSize, "record", cfg.RecordSize, "record size in bytes")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	trials := flag.Int("trials", 1, "independent trials (mean reported)")
+	verbose := flag.Bool("v", false, "print substrate metrics")
+	flag.BoolVar(&cfg.Verify, "verify", true, "verify data end to end")
+	flag.BoolVar(&cfg.DD.GatherScatter, "gather", false, "gather/scatter Memput/Memget (paper future work)")
+	flag.IntVar(&cfg.DD.BuffersPerDisk, "buffers", cfg.DD.BuffersPerDisk, "disk-directed buffers per disk")
+	flag.BoolVar(&cfg.TC.StridedRequests, "strided", false, "strided traditional-caching requests (paper future work)")
+	noDiskCache := flag.Bool("nodiskcache", false, "disable the drive's read-ahead/write-behind cache")
+	flag.Parse()
+	if *noDiskCache {
+		spec := *cfg.Disk
+		spec.CacheSegmentSectors = 0
+		cfg.Disk = &spec
+	}
+
+	var err error
+	if cfg.Method, err = exp.ParseMethod(*method); err != nil {
+		fatal(err)
+	}
+	if cfg.Layout, err = pfs.ParseLayout(*layout); err != nil {
+		fatal(err)
+	}
+	cfg.Pattern = *pattern
+	cfg.FileBytes = *fileMB * exp.MiB
+
+	t, err := exp.Trials(cfg, *trials)
+	if err != nil {
+		fatal(err)
+	}
+	r := t.Results[0]
+	fmt.Printf("%s %s on %s layout: %.2f MB/s (cv %.3f over %d trials)\n",
+		cfg.Method, cfg.Pattern, cfg.Layout, t.Mean, t.CV, len(t.Results))
+	fmt.Printf("  elapsed %v, %d MiB moved, hardware ceiling %.1f MB/s\n",
+		r.Elapsed.Round(10*time.Microsecond), r.MovedBytes/exp.MiB, cfg.MaxBandwidthMBps())
+	if *verbose {
+		fmt.Printf("  disk: %d reads, %d writes, %d ra-hits, %d streamed, %d seeks (%d cyls)\n",
+			r.Disk.Reads, r.Disk.Writes, r.Disk.CacheHits, r.Disk.CacheStream, r.Disk.Seeks, r.Disk.SeekCylinders)
+		fmt.Printf("  net: %d msgs, %d bytes; IOP cpu busy %v; CP cpu busy %v; bus busy %v\n",
+			r.NetMsgs, r.NetBytes, r.IOPBusy, r.CPBusy, r.BusBusy)
+		if r.TC.Requests > 0 {
+			fmt.Printf("  tc: %d requests, %d hits / %d misses, %d prefetches, %d flushes (%d RMW)\n",
+				r.TC.Requests, r.TC.CacheHits, r.TC.CacheMiss, r.TC.Prefetches, r.TC.Flushes, r.TC.PartialRMW)
+		}
+		if r.DD.Requests > 0 {
+			fmt.Printf("  ddio: %d blocks, %d memputs, %d memgets, %d partial-RMW\n",
+				r.DD.Blocks, r.DD.Memputs, r.DD.Memgets, r.DD.PartialBlockRMW)
+		}
+		fmt.Printf("  %d simulation events\n", r.Events)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddiosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command figures regenerates the paper's evaluation: Table 1 and
+// Figures 3–8. Output is aligned text (one table per figure); -csv adds
+// machine-readable files.
+//
+// The paper used five trials of a 10 MB file; -trials and -filemb trade
+// fidelity for time (shapes are stable well below the defaults).
+//
+// Example:
+//
+//	figures -fig 3 -trials 5
+//	figures -all -trials 3 -filemb 10 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ddio/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "", "which figure to regenerate: 3,4,5,6,7,8 or table1 (empty with -all for everything)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	trials := flag.Int("trials", 5, "independent trials per data point")
+	fileMB := flag.Int64("filemb", 10, "file size in MiB")
+	seed := flag.Int64("seed", 42, "base random seed")
+	verify := flag.Bool("verify", true, "verify data end to end in every run")
+	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
+	csv := flag.Bool("csv", false, "also write CSV files")
+	out := flag.String("out", "", "directory for CSV output (default: current)")
+	flag.Parse()
+
+	opt := exp.Options{
+		Trials:    *trials,
+		FileBytes: *fileMB * exp.MiB,
+		Seed:      *seed,
+		Verify:    *verify,
+	}
+	if !*quiet {
+		start := time.Now()
+		opt.Progress = func(line string) {
+			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), line)
+		}
+	}
+
+	which := map[string]bool{}
+	if *all || (*fig == "" && !*all) {
+		for _, f := range []string{"table1", "3", "4", "5", "6", "7", "8"} {
+			which[f] = true
+		}
+	}
+	for _, f := range strings.Split(*fig, ",") {
+		if f != "" {
+			which[strings.TrimPrefix(f, "fig")] = true
+		}
+	}
+
+	emit := func(tables ...*exp.Table) {
+		for _, t := range tables {
+			fmt.Println(t.Format())
+			fmt.Printf("max cv %.3f\n\n", t.MaxCV())
+			if *csv {
+				path := filepath.Join(*out, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+	}
+
+	if which["table1"] {
+		fmt.Println(exp.Table1())
+	}
+	var fig3Tables, fig4Tables []*exp.Table
+	type gen2 func(exp.Options) ([]*exp.Table, error)
+	type gen1 func(exp.Options) (*exp.Table, error)
+	for _, g := range []struct {
+		key string
+		fn2 gen2
+		fn1 gen1
+	}{
+		{"3", exp.Figure3, nil},
+		{"4", exp.Figure4, nil},
+		{"5", nil, exp.Figure5},
+		{"6", nil, exp.Figure6},
+		{"7", nil, exp.Figure7},
+		{"8", nil, exp.Figure8},
+	} {
+		if !which[g.key] {
+			continue
+		}
+		if g.fn2 != nil {
+			tables, err := g.fn2(opt)
+			if err != nil {
+				fatal(err)
+			}
+			if g.key == "3" {
+				fig3Tables = tables
+			} else {
+				fig4Tables = tables
+			}
+			emit(tables...)
+		} else {
+			t, err := g.fn1(opt)
+			if err != nil {
+				fatal(err)
+			}
+			emit(t)
+		}
+	}
+
+	// When both pattern figures were regenerated, distill the paper's
+	// headline claims from them.
+	if fig3Tables != nil && fig4Tables != nil {
+		base := exp.DefaultConfig()
+		h, err := exp.ComputeHeadlines(fig3Tables, fig4Tables, base.MaxBandwidthMBps())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(h.Format())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command patterns renders the paper's Figure 2: for each HPF access
+// pattern it draws which CP owns each element of a small matrix, and
+// reports the chunk size (cs) and stride (s) that determine how many
+// file-system calls a traditional client must make.
+//
+//	patterns              # the paper's 8x8 matrix / 1x8 vector over 4 CPs
+//	patterns -rows 16 -cols 16 -cps 8
+//	patterns -pattern rcb # a single pattern
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ddio/internal/hpf"
+)
+
+func main() {
+	rows := flag.Int("rows", 8, "matrix rows (2-D patterns)")
+	cols := flag.Int("cols", 8, "matrix columns (2-D patterns); also vector length for 1-D")
+	ncp := flag.Int("cps", 4, "number of compute processors")
+	one := flag.String("pattern", "", "show a single pattern (default: all of Figure 2)")
+	flag.Parse()
+
+	names := []string{
+		"rn", "rb", "rc", "ra",
+		"rnn", "rbn", "rcn", "rnb", "rbb", "rcb", "rnc", "rbc", "rcc",
+	}
+	if *one != "" {
+		names = []string{*one}
+	}
+	for _, name := range names {
+		if err := show(name, *rows, *cols, *ncp); err != nil {
+			fmt.Fprintln(os.Stderr, "patterns:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func show(name string, rows, cols, ncp int) error {
+	p, err := hpf.ParsePattern(name)
+	if err != nil {
+		return err
+	}
+	records := cols
+	if p.TwoD {
+		records = rows * cols
+	}
+	d, err := p.Decomp(int64(records), 1, ncp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %s\n", name, describe(p))
+	if p.TwoD {
+		for i := 0; i < d.Rows.N; i++ {
+			fmt.Print("  ")
+			for j := 0; j < d.Cols.N; j++ {
+				fmt.Printf("%2d", d.Owner(i*d.Cols.N+j))
+			}
+			fmt.Println()
+		}
+	} else if p.All {
+		fmt.Printf("  every CP receives all %d elements\n", d.NumRecords())
+	} else {
+		fmt.Print("  ")
+		for j := 0; j < d.Cols.N; j++ {
+			fmt.Printf("%2d", d.Owner(j))
+		}
+		fmt.Println()
+	}
+	cs, strides := chunkStats(d)
+	if len(strides) == 0 {
+		fmt.Printf("  cs = %d (one contiguous chunk per CP)\n\n", cs)
+	} else {
+		fmt.Printf("  cs = %d, s = %v\n\n", cs, strides)
+	}
+	return nil
+}
+
+func describe(p hpf.Pattern) string {
+	if p.All {
+		return "ALL: every CP reads the entire file"
+	}
+	if !p.TwoD {
+		return fmt.Sprintf("vector, %v", p.ColKind)
+	}
+	return fmt.Sprintf("matrix, rows %v x cols %v", p.RowKind, p.ColKind)
+}
+
+// chunkStats computes the paper's cs (largest contiguous chunk, in
+// elements) and the distinct strides between CP 0's consecutive chunks.
+func chunkStats(d *hpf.Decomp) (cs int64, strides []int64) {
+	set := map[int64]bool{}
+	chunks := d.Chunks(0)
+	for i, c := range chunks {
+		if c.Len > cs {
+			cs = c.Len
+		}
+		if i > 0 {
+			set[c.FileOff-chunks[i-1].FileOff] = true
+		}
+	}
+	for s := range set {
+		strides = append(strides, s)
+	}
+	sort.Slice(strides, func(i, j int) bool { return strides[i] < strides[j] })
+	return cs, strides
+}

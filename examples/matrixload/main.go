@@ -1,0 +1,52 @@
+// Matrixload reproduces the paper's motivating scenario (§2): a large
+// two-dimensional matrix, stored row-major in a striped file, is loaded
+// into memories distributed BLOCK×BLOCK over a 4×4 grid of compute
+// processors — and the same under the harder CYCLIC×CYCLIC distribution,
+// whose 8-byte chunks are what break traditional caching.
+//
+//	go run ./examples/matrixload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ddio"
+)
+
+func main() {
+	fmt.Println("Loading a distributed matrix (10 MiB, 16 CPs, 16 disks, random layout)")
+	fmt.Println()
+	fmt.Printf("%-28s %12s %12s %10s\n", "distribution", "TC MB/s", "DDIO+sort", "speedup")
+
+	for _, c := range []struct {
+		label   string
+		pattern string
+		record  int
+	}{
+		{"BLOCK x BLOCK, 8 KB recs", "rbb", 8192},
+		{"CYCLIC x BLOCK, 8 KB recs", "rcb", 8192},
+		{"BLOCK x BLOCK, 8 B recs", "rbb", 8},
+		{"CYCLIC x CYCLIC, 8 B recs", "rcc", 8},
+	} {
+		cfg := ddio.DefaultConfig()
+		cfg.Layout = ddio.RandomBlocks
+		cfg.Pattern = c.pattern
+		cfg.RecordSize = c.record
+
+		cfg.Method = ddio.TraditionalCaching
+		tc, err := ddio.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Method = ddio.DiskDirectedSort
+		dd, err := ddio.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %12.2f %12.2f %9.1fx\n", c.label, tc.MBps, dd.MBps, dd.MBps/tc.MBps)
+	}
+	fmt.Println()
+	fmt.Println("Disk-directed throughput is nearly independent of the distribution;")
+	fmt.Println("traditional caching collapses once chunks shrink to single records.")
+}

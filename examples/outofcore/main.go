@@ -1,0 +1,51 @@
+// Outofcore models the paper's other motivating workload (§2): an
+// out-of-core algorithm that processes a data set too large for memory
+// in "memoryloads" — repeatedly reading a slab of a scratch file,
+// computing on it, and writing it back. Each transfer is large but its
+// pieces land cyclically across the CPs, so the pattern stresses exactly
+// what collective I/O is for.
+//
+//	go run ./examples/outofcore
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ddio"
+)
+
+func main() {
+	const sweeps = 3
+	fmt.Printf("Out-of-core sweep: %d x (read slab, compute, write slab), cyclic records\n\n", sweeps)
+
+	for _, method := range []ddio.Method{ddio.TraditionalCaching, ddio.DiskDirectedSort} {
+		var ioTime time.Duration
+		for s := 0; s < sweeps; s++ {
+			ioTime += transfer(method, "rc") // load the slab
+			ioTime += transfer(method, "wc") // store the updated slab
+		}
+		fmt.Printf("  %-10v total I/O time %8v for %d sweeps\n",
+			method, ioTime.Round(time.Millisecond), sweeps)
+	}
+	fmt.Println("\nThe scratch file never changes layout; only the file-system software")
+	fmt.Println("differs. Disk-directed I/O turns every memoryload into one collective")
+	fmt.Println("request per IOP instead of thousands of per-record calls.")
+}
+
+// transfer runs one whole-slab collective transfer and returns the
+// simulated I/O time.
+func transfer(method ddio.Method, pattern string) time.Duration {
+	cfg := ddio.DefaultConfig()
+	cfg.Method = method
+	cfg.Pattern = pattern
+	cfg.Layout = ddio.RandomBlocks
+	cfg.FileBytes = 2 * ddio.MiB // one memoryload slab
+	cfg.RecordSize = 1024
+	res, err := ddio.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Elapsed
+}

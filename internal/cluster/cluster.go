@@ -1,0 +1,235 @@
+// Package cluster assembles the simulated MIMD machine: compute
+// processors (CPs) and I/O processors (IOPs) placed on the interconnect,
+// each with a CPU resource for file-system software costs, a mailbox for
+// protocol messages, and — for CPs — a user memory buffer that remote
+// Memput/Memget DMA operations address directly.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"ddio/internal/netsim"
+	"ddio/internal/sim"
+)
+
+// Kind distinguishes compute processors from I/O processors.
+type Kind int
+
+// Node kinds.
+const (
+	CP Kind = iota
+	IOP
+)
+
+func (k Kind) String() string {
+	if k == CP {
+		return "CP"
+	}
+	return "IOP"
+}
+
+// Node is one processor.
+type Node struct {
+	Kind  Kind
+	Index int // index within its kind
+	NetID int // interconnect address
+
+	// CPU serializes file-system software costs on this processor
+	// (50 MHz RISC in the paper; we charge calibrated absolute times).
+	CPU *sim.Pipe
+	// Mail receives protocol messages that need software handling.
+	Mail *sim.Mailbox
+	// Mem is the node's directly-addressable memory for DMA transfers
+	// (used on CPs as the application buffer).
+	Mem []byte
+}
+
+func (n *Node) String() string { return fmt.Sprintf("%v%d", n.Kind, n.Index) }
+
+// Machine is the assembled multiprocessor.
+type Machine struct {
+	Eng  *sim.Engine
+	Net  *netsim.Network
+	CPs  []*Node
+	IOPs []*Node
+}
+
+// New builds a machine with nCP compute and nIOP I/O processors,
+// interleaving the two kinds across interconnect addresses so neither is
+// clustered in one corner of the torus.
+func New(e *sim.Engine, netCfg netsim.Config, nCP, nIOP int, rng *sim.Rand) *Machine {
+	m := &Machine{
+		Eng: e,
+		Net: netsim.New(e, netCfg, nCP+nIOP, rng),
+	}
+	// Bresenham-style interleave of CPs and IOPs over net addresses.
+	cpLeft, iopLeft := nCP, nIOP
+	var cpAcc, iopAcc int
+	for id := 0; id < nCP+nIOP; id++ {
+		takeCP := false
+		switch {
+		case iopLeft == 0:
+			takeCP = true
+		case cpLeft == 0:
+			takeCP = false
+		default:
+			// Pick the kind lagging most behind its proportional share.
+			takeCP = cpAcc*nIOP <= iopAcc*nCP
+		}
+		if takeCP {
+			m.CPs = append(m.CPs, m.newNode(CP, len(m.CPs), id))
+			cpLeft--
+			cpAcc++
+		} else {
+			m.IOPs = append(m.IOPs, m.newNode(IOP, len(m.IOPs), id))
+			iopLeft--
+			iopAcc++
+		}
+	}
+	return m
+}
+
+func (m *Machine) newNode(k Kind, index, netID int) *Node {
+	name := fmt.Sprintf("%v%d", k, index)
+	return &Node{
+		Kind:  k,
+		Index: index,
+		NetID: netID,
+		CPU:   sim.NewPipe(m.Eng, "cpu:"+name, 0, 0),
+		Mail:  sim.NewMailbox(m.Eng, "mail:"+name),
+	}
+}
+
+// Send models a software message: srcCPU is charged on the sender, the
+// network carries the payload, and at delivery the message is placed in
+// dst's mailbox (the receiver charges its own processing cost when it
+// dequeues the message).
+func (m *Machine) Send(src, dst *Node, payloadBytes int, srcCPU time.Duration, msg any) {
+	_, cpuDone := src.CPU.ReserveFor(srcCPU)
+	m.Eng.At(cpuDone, func() {
+		m.Net.Send(src.NetID, dst.NetID, payloadBytes, nil, func(sim.Time) {
+			dst.Mail.Put(msg)
+		})
+	})
+}
+
+// SendFn is like Send but invokes fn (in event context) at delivery time
+// instead of using the destination mailbox — the shape of a reply whose
+// payload is deposited by DMA and whose handler is a lightweight
+// interrupt rather than a software thread.
+func (m *Machine) SendFn(src, dst *Node, payloadBytes int, srcCPU time.Duration, fn func(t sim.Time)) {
+	_, cpuDone := src.CPU.ReserveFor(srcCPU)
+	m.Eng.At(cpuDone, func() {
+		m.Net.Send(src.NetID, dst.NetID, payloadBytes, nil, fn)
+	})
+}
+
+// Memput copies data into dst.Mem at off using DMA: the source CPU pays
+// cpuCost to set up the transfer, the NICs carry the bytes, and the data
+// lands in dst.Mem with no software on the destination node. onSent (may
+// be nil) fires when the source NIC is free; onDelivered (may be nil)
+// fires when the data has landed.
+func (m *Machine) Memput(src, dst *Node, off int, data []byte, cpuCost time.Duration,
+	onSent, onDelivered func(t sim.Time)) {
+	snapshot := make([]byte, len(data))
+	copy(snapshot, data)
+	_, cpuDone := src.CPU.ReserveFor(cpuCost)
+	m.Eng.At(cpuDone, func() {
+		m.Net.Send(src.NetID, dst.NetID, len(snapshot), onSent, func(t sim.Time) {
+			copy(dst.Mem[off:], snapshot)
+			if onDelivered != nil {
+				onDelivered(t)
+			}
+		})
+	})
+}
+
+// MemSeg is one piece of a gather/scatter Memput: Data lands at Off in
+// the destination's memory.
+type MemSeg struct {
+	Off  int64
+	Data []byte
+}
+
+// GetSeg names one piece of a gather Memget: Len bytes at Off in the
+// remote memory.
+type GetSeg struct {
+	Off int64
+	Len int64
+}
+
+// MemputGather is Memput for several non-contiguous destination ranges
+// carried in a single message (the paper's gather/scatter extension).
+func (m *Machine) MemputGather(src, dst *Node, segs []MemSeg, cpuCost time.Duration,
+	onSent, onDelivered func(t sim.Time)) {
+	total := 0
+	snap := make([]MemSeg, len(segs))
+	for i, s := range segs {
+		data := make([]byte, len(s.Data))
+		copy(data, s.Data)
+		snap[i] = MemSeg{Off: s.Off, Data: data}
+		total += len(data)
+	}
+	_, cpuDone := src.CPU.ReserveFor(cpuCost)
+	m.Eng.At(cpuDone, func() {
+		m.Net.Send(src.NetID, dst.NetID, total, onSent, func(t sim.Time) {
+			for _, s := range snap {
+				copy(dst.Mem[s.Off:], s.Data)
+			}
+			if onDelivered != nil {
+				onDelivered(t)
+			}
+		})
+	})
+}
+
+// MemgetGather is Memget for several non-contiguous source ranges: one
+// request message out, one data message back, pieces returned in seg
+// order.
+func (m *Machine) MemgetGather(caller, src *Node, segs []GetSeg, cpuCost, remoteCPU time.Duration,
+	onData func(pieces [][]byte, t sim.Time)) {
+	segs = append([]GetSeg(nil), segs...)
+	total := 0
+	for _, s := range segs {
+		total += int(s.Len)
+	}
+	_, cpuDone := caller.CPU.ReserveFor(cpuCost)
+	m.Eng.At(cpuDone, func() {
+		m.Net.Send(caller.NetID, src.NetID, 8*len(segs), nil, func(sim.Time) {
+			_, dmaDone := src.CPU.ReserveFor(remoteCPU)
+			m.Eng.At(dmaDone, func() {
+				pieces := make([][]byte, len(segs))
+				for i, s := range segs {
+					piece := make([]byte, s.Len)
+					copy(piece, src.Mem[s.Off:s.Off+s.Len])
+					pieces[i] = piece
+				}
+				m.Net.Send(src.NetID, caller.NetID, total, nil, func(t sim.Time) {
+					onData(pieces, t)
+				})
+			})
+		})
+	})
+}
+
+// Memget fetches n bytes from src.Mem at off on behalf of the caller
+// node: a small request message travels to src, whose DMA engine (charged
+// as remoteCPU on src's CPU pipe, without any software thread) replies
+// with the data; onData receives the bytes at the caller at arrival time.
+func (m *Machine) Memget(caller, src *Node, off, n int, cpuCost, remoteCPU time.Duration,
+	onData func(data []byte, t sim.Time)) {
+	_, cpuDone := caller.CPU.ReserveFor(cpuCost)
+	m.Eng.At(cpuDone, func() {
+		m.Net.Send(caller.NetID, src.NetID, 0, nil, func(sim.Time) {
+			_, dmaDone := src.CPU.ReserveFor(remoteCPU)
+			m.Eng.At(dmaDone, func() {
+				data := make([]byte, n)
+				copy(data, src.Mem[off:off+n])
+				m.Net.Send(src.NetID, caller.NetID, n, nil, func(t sim.Time) {
+					onData(data, t)
+				})
+			})
+		})
+	})
+}

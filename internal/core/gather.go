@@ -1,0 +1,85 @@
+package core
+
+import (
+	"time"
+
+	"ddio/internal/cluster"
+	"ddio/internal/hpf"
+	"ddio/internal/sim"
+)
+
+// Gather/scatter messaging: the paper's future-work suggestion of moving
+// all of a block's non-contiguous pieces for one CP in a single message
+// ("the real solution would be to use gather/scatter Memput and Memget
+// operations", §6). It collapses the per-record message storm of 8-byte
+// cyclic patterns into one message per (block, CP) pair.
+
+// memputGather sends one scatter-Memput per destination CP covering all
+// of that CP's runs within the block.
+func (s *Server) memputGather(w *sim.Proc, b int, data []byte, runs []hpf.Run, delivered *sim.WaitGroup) {
+	bs := int64(s.f.BlockSize)
+	blockOff := int64(b) * bs
+	groups := groupRunsByCP(runs)
+	sent := sim.NewWaitGroup(s.m.Eng, "dd-gsent", 0)
+	for _, g := range groups {
+		segs := make([]cluster.MemSeg, len(g))
+		for i, r := range g {
+			segs[i] = cluster.MemSeg{
+				Off:  r.MemOff,
+				Data: data[r.FileOff-blockOff : r.FileOff-blockOff+r.Len],
+			}
+		}
+		s.m2.Memputs++
+		delivered.Add(1)
+		sent.Add(1)
+		cpu := s.prm.MemputCPU + s.prm.GatherSegmentCPU*time.Duration(len(segs)-1)
+		s.m.MemputGather(s.node, s.m.CPs[g[0].CP], segs, cpu,
+			func(sim.Time) { sent.Done() },
+			func(sim.Time) { delivered.Done() })
+	}
+	sent.Wait(w)
+}
+
+// memgetGather issues one gather-Memget per source CP covering all of
+// that CP's runs within the block, scattering replies into buf.
+func (s *Server) memgetGather(w *sim.Proc, b int, buf []byte, runs []hpf.Run, arrived *sim.WaitGroup) {
+	bs := int64(s.f.BlockSize)
+	blockOff := int64(b) * bs
+	for _, g := range groupRunsByCP(runs) {
+		segs := make([]cluster.GetSeg, len(g))
+		offsets := make([]int64, len(g))
+		for i, r := range g {
+			segs[i] = cluster.GetSeg{Off: r.MemOff, Len: r.Len}
+			offsets[i] = r.FileOff - blockOff
+		}
+		s.m2.Memgets++
+		arrived.Add(1)
+		g := g
+		cpu := s.prm.MemgetCPU + s.prm.GatherSegmentCPU*time.Duration(len(segs)-1)
+		s.m.MemgetGather(s.node, s.m.CPs[g[0].CP], segs, cpu, s.prm.MemgetRemoteCPU,
+			func(pieces [][]byte, _ sim.Time) {
+				for i, piece := range pieces {
+					copy(buf[offsets[i]:offsets[i]+int64(len(piece))], piece)
+				}
+				arrived.Done()
+			})
+	}
+	arrived.Wait(w)
+}
+
+// groupRunsByCP partitions runs by destination CP, preserving file
+// order within each group. Order over groups follows first appearance.
+func groupRunsByCP(runs []hpf.Run) [][]hpf.Run {
+	idx := make(map[int]int)
+	var out [][]hpf.Run
+	for _, r := range runs {
+		i, ok := idx[r.CP]
+		if !ok {
+			i = len(out)
+			idx[r.CP] = i
+			out = append(out, nil)
+		}
+		out[i] = append(out[i], r)
+	}
+	return out
+}

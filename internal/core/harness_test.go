@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ddio/internal/bus"
+	"ddio/internal/cluster"
+	"ddio/internal/disk"
+	"ddio/internal/hpf"
+	"ddio/internal/netsim"
+	"ddio/internal/pfs"
+	"ddio/internal/sim"
+)
+
+// rig is a small machine + file + disk-directed file system.
+type rig struct {
+	eng     *sim.Engine
+	m       *cluster.Machine
+	f       *pfs.File
+	servers []*Server
+	disks   []*disk.Disk
+}
+
+type rigOpts struct {
+	ncp, niop, ndisks int
+	blocks            int
+	layout            pfs.LayoutKind
+	prm               *Params
+	seed              int64
+}
+
+func newRig(t *testing.T, o rigOpts) *rig {
+	t.Helper()
+	if o.seed == 0 {
+		o.seed = 1
+	}
+	e := sim.NewEngine()
+	t.Cleanup(e.Close)
+	rng := sim.NewRand(o.seed)
+	m := cluster.New(e, netsim.DefaultConfig(), o.ncp, o.niop, rng)
+	buses := make([]*bus.Bus, o.niop)
+	for i := range buses {
+		buses[i] = bus.New(e, fmt.Sprintf("bus%d", i), 10e6, 100*time.Microsecond)
+	}
+	disks := make([]*disk.Disk, o.ndisks)
+	for d := range disks {
+		disks[d] = disk.New(e, fmt.Sprintf("d%d", d), disk.HP97560(), buses[d%o.niop], nil)
+	}
+	f, err := pfs.NewFile(disks, 8192, o.blocks, o.layout, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := DefaultParams()
+	if o.prm != nil {
+		prm = *o.prm
+	}
+	servers := make([]*Server, o.niop)
+	for i := range servers {
+		servers[i] = NewServer(m, m.IOPs[i], f, prm)
+	}
+	return &rig{eng: e, m: m, f: f, servers: servers, disks: disks}
+}
+
+func (r *rig) collective(t *testing.T, dec *hpf.Decomp, write bool, prm Params) time.Duration {
+	t.Helper()
+	client := NewClient(r.m, r.f, dec, r.servers, prm)
+	for cp, node := range r.m.CPs {
+		node.Mem = make([]byte, dec.CPBytes(cp))
+	}
+	if write {
+		for cp, node := range r.m.CPs {
+			for _, ch := range dec.Chunks(cp) {
+				pfs.FillImage(node.Mem[ch.MemOff:ch.MemOff+ch.Len], ch.FileOff)
+			}
+		}
+	} else {
+		r.f.Preload()
+	}
+	for cp := range r.m.CPs {
+		cp := cp
+		r.eng.Go(fmt.Sprintf("cp%d", cp), func(p *sim.Proc) { client.CollectiveCP(p, cp, write) })
+	}
+	r.eng.Run()
+	if client.EndTime() == 0 {
+		t.Fatalf("collective did not complete; blocked: %v", r.eng.BlockedProcs())
+	}
+	return client.EndTime().Duration()
+}
+
+func (r *rig) verifyRead(t *testing.T, dec *hpf.Decomp) {
+	t.Helper()
+	for cp, node := range r.m.CPs {
+		for _, ch := range dec.Chunks(cp) {
+			if i := pfs.VerifyImage(node.Mem[ch.MemOff:ch.MemOff+ch.Len], ch.FileOff); i >= 0 {
+				t.Fatalf("cp%d chunk at %d: mismatch at %d", cp, ch.FileOff, i)
+			}
+		}
+	}
+}
+
+func (r *rig) verifyWrite(t *testing.T) {
+	t.Helper()
+	if i := pfs.VerifyImage(r.f.ReadBack(), 0); i >= 0 {
+		t.Fatalf("file mismatch at offset %d", i)
+	}
+}
+
+func (r *rig) totalMetrics() Metrics {
+	var m Metrics
+	for _, s := range r.servers {
+		sm := s.Metrics()
+		m.Requests += sm.Requests
+		m.Blocks += sm.Blocks
+		m.Memputs += sm.Memputs
+		m.Memgets += sm.Memgets
+		m.PartialBlockRMW += sm.PartialBlockRMW
+	}
+	return m
+}
+
+func mustDecomp(t *testing.T, pattern string, fileBytes int64, recSize, ncp int) *hpf.Decomp {
+	t.Helper()
+	d, err := hpf.MustPattern(pattern).Decomp(fileBytes, recSize, ncp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

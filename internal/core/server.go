@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ddio/internal/cluster"
+	"ddio/internal/disk"
+	"ddio/internal/hpf"
+	"ddio/internal/pfs"
+	"ddio/internal/sim"
+)
+
+// collReq is the collective request multicast to every IOP: the access
+// pattern itself travels, and each IOP re-derives its local work from it
+// (the paper's "determine the set of file data local to this IOP").
+type collReq struct {
+	write bool
+	dec   *hpf.Decomp
+	src   *cluster.Node
+	done  *sim.WaitGroup // signaled (once per IOP) back at the requester
+}
+
+// Server is the disk-directed IOP engine.
+type Server struct {
+	m    *cluster.Machine
+	node *cluster.Node
+	f    *pfs.File
+	prm  Params
+	m2   Metrics
+
+	localDisks []int // global disk indices served by this IOP
+}
+
+// NewServer builds the disk-directed server for one IOP and starts its
+// dispatcher.
+func NewServer(m *cluster.Machine, node *cluster.Node, f *pfs.File, prm Params) *Server {
+	if prm.BuffersPerDisk < 1 {
+		prm.BuffersPerDisk = 1
+	}
+	s := &Server{m: m, node: node, f: f, prm: prm}
+	for d := range f.Disks {
+		if d%len(m.IOPs) == node.Index {
+			s.localDisks = append(s.localDisks, d)
+		}
+	}
+	m.Eng.Go("dd-dispatch:"+node.String(), s.dispatch)
+	return s
+}
+
+// Metrics returns a copy of the server's counters.
+func (s *Server) Metrics() Metrics { return s.m2 }
+
+func (s *Server) dispatch(p *sim.Proc) {
+	for {
+		msg := s.node.Mail.Get(p)
+		req, ok := msg.(*collReq)
+		if !ok {
+			panic(fmt.Sprintf("core: unexpected message %T", msg))
+		}
+		s.node.CPU.UseFor(p, s.prm.IOPStartCPU)
+		s.m.Eng.Go("dd-work:"+s.node.String(), func(w *sim.Proc) { s.serve(w, req) })
+	}
+}
+
+// serve executes one collective request end to end on this IOP.
+func (s *Server) serve(p *sim.Proc, req *collReq) {
+	s.m2.Requests++
+	// Plan: the per-disk block lists, sorted by physical location when
+	// presorting (Figure 1c), otherwise in file order.
+	totalBlocks := 0
+	plans := make([][]int, len(s.localDisks))
+	for i, d := range s.localDisks {
+		blocks := s.f.LocalBlocks(d)
+		if s.prm.Presort {
+			blocks = append([]int(nil), blocks...)
+			sort.Slice(blocks, func(a, b int) bool {
+				return s.f.LBN(blocks[a]) < s.f.LBN(blocks[b])
+			})
+		}
+		plans[i] = blocks
+		totalBlocks += len(blocks)
+	}
+	s.node.CPU.UseFor(p, s.prm.PlanPerBlockCPU*time.Duration(totalBlocks))
+
+	// delivered counts every Memput landed / every block durably
+	// written, so "finished" really means the data has arrived.
+	delivered := sim.NewWaitGroup(s.m.Eng, "dd-delivered:"+s.node.String(), 0)
+	workers := sim.NewWaitGroup(s.m.Eng, "dd-workers:"+s.node.String(), 0)
+	for i, d := range s.localDisks {
+		dd := s.f.Disks[d]
+		it := &blockIter{blocks: plans[i]}
+		for b := 0; b < s.prm.BuffersPerDisk; b++ {
+			workers.Add(1)
+			name := fmt.Sprintf("dd-buf:%s:d%d.%d", s.node, d, b)
+			s.m.Eng.Go(name, func(w *sim.Proc) {
+				defer workers.Done()
+				if req.write {
+					s.writeLoop(w, dd, it, req.dec, delivered)
+				} else {
+					s.readLoop(w, dd, it, req.dec, delivered)
+				}
+			})
+		}
+	}
+	workers.Wait(p)
+	if req.write {
+		// The measured time includes waiting for write-behind (§5).
+		for _, d := range s.localDisks {
+			s.f.Disks[d].Flush(p)
+		}
+	}
+	delivered.Wait(p)
+	s.m.SendFn(s.node, req.src, 0, s.prm.RequestCPU, func(sim.Time) {
+		req.done.Done()
+	})
+}
+
+// blockIter hands out blocks of one disk's plan to its buffer threads;
+// with two threads this is the paper's double buffering ("letting the
+// disk thread choose which block to transfer next" — the shared queue
+// plus the disk's FCFS service realizes the planned order).
+type blockIter struct {
+	blocks []int
+	next   int
+}
+
+func (it *blockIter) take() (int, bool) {
+	if it.next >= len(it.blocks) {
+		return 0, false
+	}
+	b := it.blocks[it.next]
+	it.next++
+	return b, true
+}
+
+// readLoop: disk → buffer → Memputs to the destination CPs.
+func (s *Server) readLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.Decomp, delivered *sim.WaitGroup) {
+	bs := int64(s.f.BlockSize)
+	for {
+		b, ok := it.take()
+		if !ok {
+			return
+		}
+		s.m2.Blocks++
+		data := dd.ReadSync(w, s.f.LBN(b), s.f.SectorsPerBlock())
+		runs := dec.RunsInRange(int64(b)*bs, bs)
+		if s.prm.GatherScatter {
+			s.memputGather(w, b, data, runs, delivered)
+			continue
+		}
+		sent := sim.NewWaitGroup(s.m.Eng, "dd-sent", 0)
+		for _, r := range runs {
+			s.m2.Memputs++
+			delivered.Add(1)
+			sent.Add(1)
+			piece := data[r.FileOff-int64(b)*bs : r.FileOff-int64(b)*bs+r.Len]
+			s.m.Memput(s.node, s.m.CPs[r.CP], int(r.MemOff), piece, s.prm.MemputCPU,
+				func(sim.Time) { sent.Done() },
+				func(sim.Time) { delivered.Done() })
+		}
+		// The buffer is reusable once the NIC has drained it.
+		sent.Wait(w)
+	}
+}
+
+// writeLoop: Memgets from the source CPs → buffer → disk.
+func (s *Server) writeLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.Decomp, delivered *sim.WaitGroup) {
+	bs := int64(s.f.BlockSize)
+	for {
+		b, ok := it.take()
+		if !ok {
+			return
+		}
+		s.m2.Blocks++
+		runs := dec.RunsInRange(int64(b)*bs, bs)
+		buf := make([]byte, s.f.BlockSize)
+		covered := int64(0)
+		arrived := sim.NewWaitGroup(s.m.Eng, "dd-arrived", 0)
+		fetch := func(r hpf.Run) {
+			s.m2.Memgets++
+			arrived.Add(1)
+			dst := buf[r.FileOff-int64(b)*bs : r.FileOff-int64(b)*bs+r.Len]
+			s.m.Memget(s.node, s.m.CPs[r.CP], int(r.MemOff), int(r.Len),
+				s.prm.MemgetCPU, s.prm.MemgetRemoteCPU,
+				func(data []byte, _ sim.Time) {
+					copy(dst, data)
+					arrived.Done()
+				})
+		}
+		if s.prm.GatherScatter {
+			s.memgetGather(w, b, buf, runs, arrived)
+			for _, r := range runs {
+				covered += r.Len
+			}
+		} else {
+			for _, r := range runs {
+				covered += r.Len
+				fetch(r)
+			}
+		}
+		arrived.Wait(w)
+		if covered < bs {
+			// The pattern does not cover the whole block: preserve the
+			// uncovered bytes (read-modify-write).
+			s.m2.PartialBlockRMW++
+			old := dd.ReadSync(w, s.f.LBN(b), s.f.SectorsPerBlock())
+			merged := overlayRuns(old, buf, runs, int64(b)*bs)
+			buf = merged
+		}
+		dd.WriteSync(w, s.f.LBN(b), buf)
+		// Durability is awaited via disk.Flush in serve; 'delivered' is
+		// only tracked for reads.
+	}
+}
+
+// overlayRuns merges run-covered bytes from fresh into old.
+func overlayRuns(old, fresh []byte, runs []hpf.Run, blockOff int64) []byte {
+	out := make([]byte, len(old))
+	copy(out, old)
+	for _, r := range runs {
+		copy(out[r.FileOff-blockOff:r.FileOff-blockOff+r.Len], fresh[r.FileOff-blockOff:r.FileOff-blockOff+r.Len])
+	}
+	return out
+}

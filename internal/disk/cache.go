@@ -1,0 +1,143 @@
+package disk
+
+import "ddio/internal/sim"
+
+// racache models the drive's read-ahead cache segment. After a read the
+// drive keeps reading sequentially "for free" while otherwise idle; a
+// later request that falls inside the segment is served without any
+// mechanical delay, and a request just beyond the media point streams at
+// media speed. This is what lets the contiguous layout approach the
+// drive's sustained rate even though the host issues one 8 KB command at
+// a time (paper §6: "benefiting from the disks' own caches").
+//
+// The cache is accounted lazily: instead of simulating the background
+// media activity with events, the media point is advanced arithmetically
+// (via geom.walk) whenever the foreground looks at the cache.
+type racache struct {
+	g       *geom
+	valid   bool
+	start   int64    // first LBN held
+	mediaAt int64    // media has read through here (exclusive)...
+	mediaT  sim.Time // ...as of this time
+	limit   int64    // read-ahead will not pass this LBN
+	flowing bool     // media is still streaming forward
+}
+
+func newRACache(g *geom) *racache { return &racache{g: g} }
+
+// advance credits background read-ahead progress up to time t.
+func (c *racache) advance(t sim.Time) {
+	if !c.valid || !c.flowing || t <= c.mediaT || c.mediaAt >= c.limit {
+		if c.mediaAt >= c.limit {
+			c.flowing = false
+		}
+		return
+	}
+	// Binary-search the furthest LBN whose walk-completion is <= t.
+	lo, hi := c.mediaAt, c.limit
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		end, _ := c.g.walk(c.mediaT, c.mediaAt, mid-c.mediaAt)
+		if end <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if lo > c.mediaAt {
+		end, _ := c.g.walk(c.mediaT, c.mediaAt, lo-c.mediaAt)
+		c.mediaAt, c.mediaT = lo, end
+	}
+	if c.mediaAt >= c.limit {
+		c.flowing = false
+	}
+	c.trim()
+}
+
+// trim drops the oldest cached sectors so the segment never exceeds its
+// configured size.
+func (c *racache) trim() {
+	seg := int64(c.g.spec.CacheSegmentSectors)
+	if c.mediaAt-c.start > seg {
+		c.start = c.mediaAt - seg
+	}
+}
+
+// freeze stops background read-ahead (the media is needed elsewhere);
+// already-cached sectors remain valid for hits.
+func (c *racache) freeze(t sim.Time) {
+	if c.valid {
+		c.advance(t)
+		c.flowing = false
+		c.limit = c.mediaAt
+	}
+}
+
+// invalidate discards the cache entirely.
+func (c *racache) invalidate() {
+	c.valid = false
+	c.flowing = false
+}
+
+// overlaps reports whether [lbn, lbn+n) intersects the cached/streaming
+// range.
+func (c *racache) overlaps(lbn, n int64) bool {
+	return c.valid && lbn < c.limit && lbn+n > c.start
+}
+
+// serveRead attempts to satisfy a read [lbn, lbn+n) at time t from the
+// cache or the ongoing stream. It returns (mediaReady, true) when the
+// request is a hit: mediaReady is the time the last sector is in the
+// drive's buffer (== t for a full hit, later when streaming). A miss
+// returns ok == false and leaves the cache for the caller to rebuild.
+func (c *racache) serveRead(t sim.Time, lbn, n int64) (mediaReady sim.Time, ok bool) {
+	if !c.valid {
+		return 0, false
+	}
+	c.advance(t)
+	end := lbn + n
+	if lbn < c.start || lbn > c.mediaAt {
+		return 0, false // behind the segment or ahead of a dead stream
+	}
+	if end <= c.mediaAt {
+		return t, true // full hit
+	}
+	if !c.flowing && end > c.mediaAt {
+		return 0, false // stream stopped short of the request
+	}
+	// Streaming: extend the limit so a steady sequential consumer keeps
+	// the drive reading ahead, then wait for the media to pass 'end'.
+	if wantLimit := end + int64(c.g.spec.CacheSegmentSectors); wantLimit > c.limit {
+		if max := c.g.spec.TotalSectors(); wantLimit > max {
+			wantLimit = max
+		}
+		c.limit = wantLimit
+	}
+	mediaReady, _ = c.g.walk(c.mediaT, c.mediaAt, end-c.mediaAt)
+	c.mediaAt, c.mediaT = end, mediaReady
+	if c.mediaAt >= c.limit {
+		c.flowing = false
+	}
+	c.trim()
+	return mediaReady, true
+}
+
+// startStream (re)builds the cache after a mechanical read that finished
+// reading through LBN end at time t: the drive continues reading ahead up
+// to a full segment beyond the request.
+func (c *racache) startStream(start, end int64, t sim.Time) {
+	if c.g.spec.CacheSegmentSectors <= 0 {
+		c.invalidate()
+		return
+	}
+	c.valid = true
+	c.start = start
+	c.mediaAt = end
+	c.mediaT = t
+	c.limit = end + int64(c.g.spec.CacheSegmentSectors)
+	if max := c.g.spec.TotalSectors(); c.limit > max {
+		c.limit = max
+	}
+	c.flowing = c.limit > c.mediaAt
+	c.trim()
+}

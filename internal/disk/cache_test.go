@@ -1,0 +1,187 @@
+package disk
+
+import (
+	"testing"
+)
+
+// Unit tests for the read-ahead cache's lazy media accounting, isolated
+// from the disk server.
+
+func newTestCache() (*geom, *racache) {
+	g := newGeom(HP97560())
+	return g, newRACache(g)
+}
+
+func TestRACacheMissWhenInvalid(t *testing.T) {
+	_, c := newTestCache()
+	if _, ok := c.serveRead(0, 0, 16); ok {
+		t.Fatal("hit on empty cache")
+	}
+}
+
+func TestRACacheFullHitAfterStream(t *testing.T) {
+	g, c := newTestCache()
+	// Mechanical read of [0,16) finished at t0; read-ahead continues.
+	t0, _ := g.walk(g.nextSlotStart(0, g.slot(0, 0, 0)), 0, 16)
+	c.startStream(0, 16, t0)
+	// Much later, the next 16 sectors are fully buffered.
+	later := t0 + 10*g.rev
+	ready, ok := c.serveRead(later, 16, 16)
+	if !ok {
+		t.Fatal("miss on read-ahead data")
+	}
+	if ready != later {
+		t.Fatalf("full hit should be instantaneous, got wait until %v from %v", ready, later)
+	}
+}
+
+func TestRACacheStreamingWaitsForMedia(t *testing.T) {
+	g, c := newTestCache()
+	t0, _ := g.walk(g.nextSlotStart(0, g.slot(0, 0, 0)), 0, 16)
+	c.startStream(0, 16, t0)
+	// Immediately ask for the next block: the media hasn't read it yet,
+	// so the ready time is in the future but far less than a seek away.
+	ready, ok := c.serveRead(t0, 16, 16)
+	if !ok {
+		t.Fatal("streaming read missed")
+	}
+	if ready <= t0 {
+		t.Fatal("streaming read cannot be instantaneous")
+	}
+	if ready-t0 > 20*g.st {
+		t.Fatalf("streaming wait %v, want about 16 sector times", ready-t0)
+	}
+}
+
+func TestRACacheLimitStopsReadAhead(t *testing.T) {
+	g, c := newTestCache()
+	t0, _ := g.walk(g.nextSlotStart(0, g.slot(0, 0, 0)), 0, 16)
+	c.startStream(0, 16, t0)
+	limit := c.limit
+	// Advance far beyond any plausible read-ahead duration.
+	c.advance(t0 + 1000*g.rev)
+	if c.mediaAt > limit {
+		t.Fatalf("read-ahead passed its limit: %d > %d", c.mediaAt, limit)
+	}
+	if c.flowing {
+		t.Fatal("stream still flowing at its limit")
+	}
+}
+
+func TestRACacheTrimBoundsSegment(t *testing.T) {
+	g, c := newTestCache()
+	seg := int64(g.spec.CacheSegmentSectors)
+	t0, _ := g.walk(g.nextSlotStart(0, g.slot(0, 0, 0)), 0, 16)
+	c.startStream(0, 16, t0)
+	// Stream far forward by repeatedly consuming at the media point.
+	for i := 0; i < 40; i++ {
+		end := c.mediaAt + 16
+		ready, ok := c.serveRead(c.mediaT, c.mediaAt, 16)
+		if !ok {
+			t.Fatalf("sequential consumption missed at %d", end)
+		}
+		_ = ready
+	}
+	if c.mediaAt-c.start > seg {
+		t.Fatalf("cache holds %d sectors, segment is %d", c.mediaAt-c.start, seg)
+	}
+}
+
+func TestRACacheBehindSegmentMisses(t *testing.T) {
+	g, c := newTestCache()
+	t0, _ := g.walk(g.nextSlotStart(0, g.slot(0, 0, 0)), 0, 16)
+	c.startStream(512, 528, t0) // stream starting at sector 512
+	if _, ok := c.serveRead(t0+10*g.rev, 0, 16); ok {
+		t.Fatal("hit on data before the cached range")
+	}
+}
+
+func TestRACacheFreezeStopsGrowthKeepsData(t *testing.T) {
+	g, c := newTestCache()
+	t0, _ := g.walk(g.nextSlotStart(0, g.slot(0, 0, 0)), 0, 16)
+	c.startStream(0, 16, t0)
+	c.advance(t0 + 2*g.rev) // some read-ahead happened
+	at := c.mediaAt
+	c.freeze(t0 + 2*g.rev)
+	c.advance(t0 + 50*g.rev)
+	if c.mediaAt != at {
+		t.Fatalf("frozen cache advanced from %d to %d", at, c.mediaAt)
+	}
+	// Data already buffered still hits.
+	if _, ok := c.serveRead(t0+50*g.rev, 0, 16); !ok {
+		t.Fatal("frozen cache lost its data")
+	}
+	// Data beyond the freeze point misses.
+	if _, ok := c.serveRead(t0+50*g.rev, at, 16); ok {
+		t.Fatal("frozen cache served unread data")
+	}
+}
+
+func TestRACacheInvalidate(t *testing.T) {
+	g, c := newTestCache()
+	t0, _ := g.walk(g.nextSlotStart(0, g.slot(0, 0, 0)), 0, 16)
+	c.startStream(0, 16, t0)
+	if !c.overlaps(8, 16) {
+		t.Fatal("overlap not detected")
+	}
+	c.invalidate()
+	if c.valid || c.overlaps(8, 16) {
+		t.Fatal("invalidate did not clear the cache")
+	}
+}
+
+func TestRACacheZeroSegmentNeverValid(t *testing.T) {
+	spec := HP97560()
+	spec.CacheSegmentSectors = 0
+	g := newGeom(spec)
+	c := newRACache(g)
+	c.startStream(0, 16, 12345)
+	if c.valid {
+		t.Fatal("zero-segment cache became valid")
+	}
+}
+
+// Write-behind buffer accounting.
+
+func TestWCachePendingDrainsOverTime(t *testing.T) {
+	g := newGeom(HP97560())
+	atT0 := g.nextSlotStart(0, g.slot(0, 0, 0))
+	fresh := func() wcache { return wcache{g: g, active: true, at: 0, atT: atT0, end: 64} }
+	w := fresh()
+	done, _ := w.drainTime() // drainTime does not mutate
+	if p := w.pendingAt(atT0); p != 64 {
+		t.Fatalf("pending %d at start", p)
+	}
+	if w := fresh(); w.pendingAt(done) != 0 {
+		t.Fatalf("pending after drain time")
+	}
+	// Partially drained in between (pendingAt advances the media point,
+	// so each check uses a fresh buffer).
+	mid := atT0 + (done-atT0)/2
+	if w := fresh(); func() int64 { return w.pendingAt(mid) }() <= 0 || w.at >= w.end {
+		t.Fatalf("midpoint accounting: at=%d end=%d", w.at, w.end)
+	}
+	if w := fresh(); w.pendingAt(mid) >= 64 {
+		t.Fatalf("no progress by midpoint")
+	}
+}
+
+func TestWCacheDrainTimeIdleIsNow(t *testing.T) {
+	g := newGeom(HP97560())
+	w := wcache{g: g, active: true, at: 64, atT: 999999, end: 64}
+	done, cyl := w.drainTime()
+	if done != 999999 {
+		t.Fatalf("idle drain time %v", done)
+	}
+	if wantCyl, _, _ := g.decompose(63); cyl != wantCyl {
+		t.Fatalf("idle drain cylinder %d", cyl)
+	}
+}
+
+func TestWCacheInactivePendingZero(t *testing.T) {
+	g := newGeom(HP97560())
+	w := wcache{g: g}
+	if w.pendingAt(12345) != 0 {
+		t.Fatal("inactive buffer reports pending writes")
+	}
+}

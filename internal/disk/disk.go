@@ -1,0 +1,218 @@
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"ddio/internal/bus"
+	"ddio/internal/sim"
+)
+
+// Request is one I/O command issued to a disk. Reads fill Data with a
+// freshly allocated slice at completion; writes consume Data (which must
+// hold Count*SectorSize bytes). OnDone, if set, is invoked when the drive
+// reports completion — for writes this is when the data is accepted into
+// the drive's write-behind buffer, matching an "immediate report" drive;
+// use Flush to wait for media durability.
+type Request struct {
+	Write  bool
+	LBN    int64 // starting sector
+	Count  int64 // sectors
+	Data   []byte
+	OnDone func(t sim.Time)
+
+	cyl int64
+	enq sim.Time
+}
+
+// Metrics aggregates per-disk activity counters.
+type Metrics struct {
+	Reads         int64
+	Writes        int64
+	CacheHits     int64 // reads served entirely from the read-ahead buffer
+	CacheStreams  int64 // reads that waited on the ongoing read-ahead stream
+	SeekCount     int64
+	SeekCylinders int64
+	SectorsRead   int64
+	SectorsWrite  int64
+	QueueWait     time.Duration // sum of time requests spent queued
+	Busy          time.Duration // foreground service time (approximate)
+}
+
+// Disk simulates one drive: a server process draining a request queue
+// through the mechanical model, a read-ahead cache, a write-behind
+// buffer, and an optional shared bus on the host side of the transfer.
+type Disk struct {
+	Name string
+	Spec *Spec
+
+	eng   *sim.Engine
+	bus   *bus.Bus
+	g     *geom
+	cache *racache
+	wb    wcache
+	sched Scheduler
+
+	curCyl  int64
+	queue   []*Request
+	queued  *sim.Cond
+	m       Metrics
+	storage map[int64][]byte // sector LBN -> SectorSize bytes
+}
+
+// New creates a disk and starts its server process on the engine. b may
+// be nil to model a drive with an uncontended, infinitely fast channel.
+// sched nil defaults to FCFS.
+func New(e *sim.Engine, name string, spec *Spec, b *bus.Bus, sched Scheduler) *Disk {
+	if sched == nil {
+		sched = FCFS{}
+	}
+	d := &Disk{
+		Name:    name,
+		Spec:    spec,
+		eng:     e,
+		bus:     b,
+		g:       newGeom(spec),
+		sched:   sched,
+		storage: make(map[int64][]byte),
+	}
+	d.cache = newRACache(d.g)
+	d.wb = wcache{g: d.g}
+	d.queued = sim.NewCond(e, "disk "+name)
+	e.Go("disk:"+name, d.run)
+	return d
+}
+
+// Metrics returns a copy of the disk's activity counters.
+func (d *Disk) Metrics() Metrics { return d.m }
+
+// QueueLen returns the number of requests waiting (diagnostic).
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Submit enqueues a request; the server process picks it up according to
+// the disk's scheduler. May be called from proc or event context.
+func (d *Disk) Submit(r *Request) {
+	d.g.check(r.LBN, r.Count)
+	if r.Write && int64(len(r.Data)) != r.Count*int64(d.Spec.SectorSize) {
+		panic(fmt.Sprintf("disk %s: write of %d sectors with %d data bytes", d.Name, r.Count, len(r.Data)))
+	}
+	r.cyl, _, _ = d.g.decompose(r.LBN)
+	r.enq = d.eng.Now()
+	d.queue = append(d.queue, r)
+	d.queued.Signal()
+}
+
+// ReadSync submits a read and blocks p until it completes, returning the
+// data.
+func (d *Disk) ReadSync(p *sim.Proc, lbn, count int64) []byte {
+	done := sim.NewWaitGroup(d.eng, "diskread", 1)
+	r := &Request{LBN: lbn, Count: count, OnDone: func(sim.Time) { done.Done() }}
+	d.Submit(r)
+	done.Wait(p)
+	return r.Data
+}
+
+// WriteSync submits a write and blocks p until the drive accepts it.
+func (d *Disk) WriteSync(p *sim.Proc, lbn int64, data []byte) {
+	done := sim.NewWaitGroup(d.eng, "diskwrite", 1)
+	r := &Request{Write: true, LBN: lbn, Count: int64(len(data) / d.Spec.SectorSize), Data: data,
+		OnDone: func(sim.Time) { done.Done() }}
+	d.Submit(r)
+	done.Wait(p)
+}
+
+// Flush blocks p until the write-behind buffer has drained to media and
+// the request queue is empty.
+func (d *Disk) Flush(p *sim.Proc) {
+	for len(d.queue) > 0 {
+		// Wait for the queue to drain by polling at the next service
+		// completion; simplest is to enqueue a zero-length read barrier.
+		done := sim.NewWaitGroup(d.eng, "diskflush", 1)
+		d.Submit(&Request{LBN: 0, Count: 0, OnDone: func(sim.Time) { done.Done() }})
+		done.Wait(p)
+	}
+	d.drainWrites(p)
+}
+
+// run is the drive's server process.
+func (d *Disk) run(p *sim.Proc) {
+	for {
+		for len(d.queue) == 0 {
+			d.queued.Wait(p)
+		}
+		i := d.sched.Pick(d.queue, d.curCyl)
+		r := d.queue[i]
+		d.queue = append(d.queue[:i], d.queue[i+1:]...)
+		d.m.QueueWait += time.Duration(p.Now() - r.enq)
+		d.serve(p, r)
+	}
+}
+
+func (d *Disk) serve(p *sim.Proc, r *Request) {
+	start := p.Now()
+	if r.Count == 0 { // barrier request used by Flush
+		if r.OnDone != nil {
+			r.OnDone(p.Now())
+		}
+		return
+	}
+	p.Sleep(d.Spec.ControllerOverhead)
+	if r.Write {
+		d.serveWrite(p, r)
+	} else {
+		d.serveRead(p, r)
+	}
+	d.m.Busy += time.Duration(p.Now() - start)
+	if r.OnDone != nil {
+		r.OnDone(p.Now())
+	}
+}
+
+func (d *Disk) serveRead(p *sim.Proc, r *Request) {
+	d.m.Reads++
+	d.m.SectorsRead += r.Count
+	// The media must be done with buffered writes before it can serve
+	// reads (no internal reordering across the write buffer).
+	d.drainWrites(p)
+	if ready, ok := d.cache.serveRead(p.Now(), r.LBN, r.Count); ok {
+		if ready > p.Now() {
+			d.m.CacheStreams++
+			p.SleepUntil(ready)
+		} else {
+			d.m.CacheHits++
+		}
+		d.curCyl, _, _ = d.g.decompose(d.cache.mediaAt - 1)
+	} else {
+		d.countSeek(r.cyl)
+		end, endCyl := d.g.access(d.curCyl, p.Now(), r.LBN, r.Count)
+		p.SleepUntil(end)
+		d.curCyl = endCyl
+		d.cache.startStream(r.LBN, r.LBN+r.Count, end)
+	}
+	if d.bus != nil {
+		d.bus.Transfer(p, int(r.Count)*d.Spec.SectorSize)
+	}
+	r.Data = d.ReadData(r.LBN, r.Count)
+}
+
+func (d *Disk) serveWrite(p *sim.Proc, r *Request) {
+	d.m.Writes++
+	d.m.SectorsWrite += r.Count
+	if d.bus != nil {
+		d.bus.Transfer(p, int(r.Count)*d.Spec.SectorSize)
+	}
+	d.WriteData(r.LBN, r.Data)
+	if d.cache.overlaps(r.LBN, r.Count) {
+		d.cache.invalidate()
+	} else {
+		d.cache.freeze(p.Now()) // the media is about to leave the read stream
+	}
+	d.acceptWrite(p, r.LBN, r.Count)
+}
+
+func (d *Disk) countSeek(toCyl int64) {
+	if toCyl != d.curCyl {
+		d.m.SeekCount++
+		d.m.SeekCylinders += abs64(toCyl - d.curCyl)
+	}
+}

@@ -1,0 +1,149 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ddio/internal/sim"
+)
+
+func testGeom() *geom { return newGeom(HP97560()) }
+
+func TestDecomposeComposeRoundTrip(t *testing.T) {
+	g := testGeom()
+	for _, lbn := range []int64{0, 1, 71, 72, 1367, 1368, g.spec.TotalSectors() - 1} {
+		c, h, s := g.decompose(lbn)
+		if got := g.compose(c, h, s); got != lbn {
+			t.Errorf("roundtrip %d -> (%d,%d,%d) -> %d", lbn, c, h, s, got)
+		}
+	}
+}
+
+// Property: decompose/compose are inverse bijections over the device.
+func TestQuickGeometryBijection(t *testing.T) {
+	g := testGeom()
+	total := g.spec.TotalSectors()
+	f := func(x uint32) bool {
+		lbn := int64(x) % total
+		c, h, s := g.decompose(lbn)
+		if c < 0 || c >= int64(g.spec.Cylinders) || h < 0 || h >= g.heads || s < 0 || s >= g.spt {
+			return false
+		}
+		return g.compose(c, h, s) == lbn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotSkewAdvancesPerTrack(t *testing.T) {
+	g := testGeom()
+	// Sector 0 of consecutive tracks is skewed by TrackSkew slots.
+	s0 := g.slot(0, 0, 0)
+	s1 := g.slot(0, 1, 0)
+	if (s1-s0+g.spt)%g.spt != int64(g.spec.TrackSkew) {
+		t.Fatalf("track skew %d, want %d", (s1-s0+g.spt)%g.spt, g.spec.TrackSkew)
+	}
+	// Crossing a cylinder adds CylinderSkew on top.
+	sLast := g.slot(0, g.heads-1, 0)
+	sNext := g.slot(1, 0, 0)
+	want := int64(g.spec.TrackSkew+g.spec.CylinderSkew) % g.spt
+	if (sNext-sLast+g.spt)%g.spt != want {
+		t.Fatalf("cylinder skew %d, want %d", (sNext-sLast+g.spt)%g.spt, want)
+	}
+}
+
+func TestNextSlotStartWithinOneRevolution(t *testing.T) {
+	g := testGeom()
+	for _, now := range []sim.Time{0, 1, g.st, g.rev - 1, g.rev, 12345678} {
+		for _, k := range []int64{0, 1, 35, 71} {
+			start := g.nextSlotStart(now, k)
+			if start < now || start >= now+g.rev {
+				t.Fatalf("nextSlotStart(%v,%d) = %v outside [now, now+rev)", now, k, start)
+			}
+			// The returned time must actually be slot k's start.
+			if (start % g.rev) != sim.Time(k)*g.st {
+				t.Fatalf("slot %d starts at phase %v", k, start%g.rev)
+			}
+		}
+	}
+}
+
+func TestWalkFullTrackTakesOneRevolution(t *testing.T) {
+	g := testGeom()
+	// Start exactly at slot of sector 0 of track 0.
+	t0 := g.nextSlotStart(0, g.slot(0, 0, 0))
+	end, _ := g.walk(t0, 0, g.spt)
+	if end-t0 != g.rev {
+		t.Fatalf("full-track walk took %v, want one rev %v", end-t0, g.rev)
+	}
+}
+
+func TestWalkSequentialTracksHideSwitch(t *testing.T) {
+	g := testGeom()
+	t0 := g.nextSlotStart(0, g.slot(0, 0, 0))
+	end1, _ := g.walk(t0, 0, g.spt)       // track 0
+	end2, _ := g.walk(end1, g.spt, g.spt) // track 1 immediately after
+	gap := end2 - end1 - g.rev            // extra beyond one revolution
+	want := sim.Time(g.spec.TrackSkew) * g.st
+	if gap != want {
+		t.Fatalf("inter-track gap %v, want skew %v", gap, want)
+	}
+}
+
+func TestWalkContinuationHasNoRotationalLoss(t *testing.T) {
+	g := testGeom()
+	t0 := g.nextSlotStart(0, g.slot(0, 0, 0))
+	// Reading 16-sector blocks back to back must cost exactly 16
+	// sector times each while on one track.
+	end1, _ := g.walk(t0, 0, 16)
+	end2, _ := g.walk(end1, 16, 16)
+	if end2-end1 != 16*g.st {
+		t.Fatalf("continuation block took %v, want %v", end2-end1, 16*g.st)
+	}
+}
+
+func TestWalkMissedRotationCostsFullRev(t *testing.T) {
+	g := testGeom()
+	t0 := g.nextSlotStart(0, g.slot(0, 0, 0))
+	end1, _ := g.walk(t0, 0, 16)
+	// Ask for the same block again a hair later: nearly a full rev wait.
+	end2, _ := g.walk(end1+1, 0, 16)
+	wait := end2 - (end1 + 1) - 16*g.st
+	if wait < g.rev-17*g.st || wait > g.rev {
+		t.Fatalf("re-read rotational wait %v, want ~%v", wait, g.rev-16*g.st)
+	}
+}
+
+func TestAccessIncludesSeek(t *testing.T) {
+	g := testGeom()
+	spec := g.spec
+	farLBN := g.compose(1000, 0, 0)
+	endNear, _ := g.access(0, 0, 0, 16)
+	endFar, _ := g.access(0, 0, farLBN, 16)
+	minDiff := sim.Time(spec.Seek(1000)) - g.rev // rotational phase can differ by up to a rev
+	if endFar-endNear < minDiff {
+		t.Fatalf("far access only %v slower, seek alone is %v", endFar-endNear, spec.Seek(1000))
+	}
+	if _, endCyl := g.access(0, 0, farLBN, 16); endCyl != 1000 {
+		t.Fatalf("arm ended at cylinder %d, want 1000", endCyl)
+	}
+}
+
+func TestAccessOutOfRangePanics(t *testing.T) {
+	g := testGeom()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	g.check(g.spec.TotalSectors(), 1)
+}
+
+func TestWalkZeroSectors(t *testing.T) {
+	g := testGeom()
+	end, cyl := g.walk(1234, 72*19*3, 0)
+	if end != 1234 || cyl != 3 {
+		t.Fatalf("zero walk = (%v, %d)", end, cyl)
+	}
+}

@@ -1,0 +1,67 @@
+package disk
+
+// Scheduler selects which queued request a disk serves next. The queue is
+// passed in arrival order; Pick returns an index into it.
+//
+// In the paper, traditional caching leaves scheduling to whatever order
+// requests reach each disk (FCFS here, with only a handful outstanding),
+// while disk-directed I/O achieves its ordering by presorting the block
+// list before issuing, so it too runs over FCFS. SSTF and CSCAN are
+// provided for ablations.
+type Scheduler interface {
+	Name() string
+	Pick(queue []*Request, curCyl int64) int
+}
+
+// FCFS serves requests strictly in arrival order.
+type FCFS struct{}
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return "fcfs" }
+
+// Pick implements Scheduler.
+func (FCFS) Pick(queue []*Request, curCyl int64) int { return 0 }
+
+// SSTF serves the request with the shortest seek distance from the
+// current cylinder, breaking ties by arrival order.
+type SSTF struct{}
+
+// Name implements Scheduler.
+func (SSTF) Name() string { return "sstf" }
+
+// Pick implements Scheduler.
+func (SSTF) Pick(queue []*Request, curCyl int64) int {
+	best, bestDist := 0, int64(-1)
+	for i, r := range queue {
+		d := abs64(r.cyl - curCyl)
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// CSCAN sweeps from the current cylinder toward higher cylinders, wrapping
+// to the lowest queued cylinder when none remain ahead.
+type CSCAN struct{}
+
+// Name implements Scheduler.
+func (CSCAN) Name() string { return "cscan" }
+
+// Pick implements Scheduler.
+func (CSCAN) Pick(queue []*Request, curCyl int64) int {
+	ahead, aheadCyl := -1, int64(-1)
+	low, lowCyl := -1, int64(-1)
+	for i, r := range queue {
+		if r.cyl >= curCyl && (ahead == -1 || r.cyl < aheadCyl) {
+			ahead, aheadCyl = i, r.cyl
+		}
+		if low == -1 || r.cyl < lowCyl {
+			low, lowCyl = i, r.cyl
+		}
+	}
+	if ahead != -1 {
+		return ahead
+	}
+	return low
+}

@@ -1,0 +1,34 @@
+package disk
+
+// Byte storage behind the mechanical model. Contents are kept per sector
+// so experiments can verify end-to-end data integrity; unwritten sectors
+// read as zeros.
+
+// WriteData stores bytes at the given sector without simulating any time
+// (used both by the write path and to preload file images before a run).
+func (d *Disk) WriteData(lbn int64, data []byte) {
+	ss := d.Spec.SectorSize
+	if len(data)%ss != 0 {
+		panic("disk: WriteData length not sector-aligned")
+	}
+	for off := 0; off < len(data); off += ss {
+		sector := make([]byte, ss)
+		copy(sector, data[off:off+ss])
+		d.storage[lbn+int64(off/ss)] = sector
+	}
+}
+
+// ReadData returns a copy of the bytes in sectors [lbn, lbn+count).
+func (d *Disk) ReadData(lbn, count int64) []byte {
+	ss := d.Spec.SectorSize
+	out := make([]byte, int(count)*ss)
+	for i := int64(0); i < count; i++ {
+		if sector, ok := d.storage[lbn+i]; ok {
+			copy(out[int(i)*ss:], sector)
+		}
+	}
+	return out
+}
+
+// StoredSectors returns how many distinct sectors hold data (diagnostic).
+func (d *Disk) StoredSectors() int { return len(d.storage) }

@@ -1,0 +1,128 @@
+package disk
+
+import "ddio/internal/sim"
+
+// wcache models the drive's write-behind ("immediate report") buffer: a
+// write command completes as soon as its data is in the drive buffer, and
+// the media commits it in the background. Sequential writes therefore
+// stream at close to media rate, which the paper's write throughputs
+// (slightly above its read throughputs) imply the HP 97560 did.
+//
+// Like racache, progress is accounted lazily with geom.walk rather than
+// with background events. The buffer holds a single contiguous run; a
+// non-sequential write drains the run first (no internal reordering).
+type wcache struct {
+	g      *geom
+	active bool
+	at     int64    // media has committed through here (exclusive)...
+	atT    sim.Time // ...as of this time (a walk origin, not wall progress)
+	end    int64    // buffered run extends to here
+}
+
+// pendingAt returns how many sectors remain uncommitted at time t.
+func (w *wcache) pendingAt(t sim.Time) int64 {
+	if !w.active {
+		return 0
+	}
+	w.advance(t)
+	return w.end - w.at
+}
+
+// advance credits background commit progress up to time t.
+func (w *wcache) advance(t sim.Time) {
+	if !w.active || w.at >= w.end {
+		return
+	}
+	lo, hi := w.at, w.end
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		endT, _ := w.g.walk(w.atT, w.at, mid-w.at)
+		if endT <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if lo > w.at {
+		endT, _ := w.g.walk(w.atT, w.at, lo-w.at)
+		w.at, w.atT = lo, endT
+	}
+}
+
+// drainTime returns the absolute time at which all buffered sectors will
+// be on media, and the cylinder the arm ends on.
+func (w *wcache) drainTime() (sim.Time, int64) {
+	if !w.active || w.at >= w.end {
+		cyl := int64(0)
+		if w.active && w.end > 0 {
+			cyl, _, _ = w.g.decompose(w.end - 1)
+		}
+		return w.atT, cyl
+	}
+	return w.g.walk(w.atT, w.at, w.end-w.at)
+}
+
+// drainWrites blocks p until the drive's write buffer is empty, updating
+// the arm position.
+func (d *Disk) drainWrites(p *sim.Proc) {
+	if !d.wb.active {
+		return
+	}
+	d.wb.advance(p.Now())
+	if d.wb.at < d.wb.end {
+		endT, endCyl := d.wb.drainTime()
+		p.SleepUntil(endT)
+		d.wb.at, d.wb.atT = d.wb.end, endT
+		d.curCyl = endCyl
+	} else if d.wb.end > 0 {
+		d.curCyl, _, _ = d.g.decompose(d.wb.end - 1)
+	}
+	d.wb.active = false
+}
+
+// acceptWrite admits sectors [lbn, lbn+n) into the write buffer, blocking
+// p when the buffer is full or when the run is not sequential with the
+// buffered one. Capacity is the drive's cache segment size; when
+// write-behind is disabled (segment 0) the write is fully synchronous.
+func (d *Disk) acceptWrite(p *sim.Proc, lbn, n int64) {
+	w := &d.wb
+	capacity := int64(d.Spec.CacheSegmentSectors)
+	if capacity == 0 {
+		// Synchronous write-through.
+		d.countSeek(cylOf(d.g, lbn))
+		end, endCyl := d.g.access(d.curCyl, p.Now(), lbn, n)
+		p.SleepUntil(end)
+		d.curCyl = endCyl
+		return
+	}
+	if w.active && lbn != w.end {
+		d.drainWrites(p) // non-sequential: commit the old run first
+	}
+	if w.active {
+		// Sequential append; wait for space if the buffer is full.
+		for w.pendingAt(p.Now())+n > capacity && w.at < w.end {
+			freeAt, _ := d.g.walk(w.atT, w.at, (w.end+n-capacity)-w.at)
+			p.SleepUntil(freeAt)
+		}
+		w.advance(p.Now())
+		w.end += n
+		return
+	}
+	// Start a new run: the arm departs now; positioning is folded into
+	// the walk origin (seek first, then rotational wait via walk).
+	d.countSeek(cylOf(d.g, lbn))
+	seek := sim.Time(0)
+	if c := cylOf(d.g, lbn); c != d.curCyl {
+		seek = sim.Time(d.Spec.Seek(int(abs64(c - d.curCyl))))
+		d.curCyl = c
+	}
+	w.active = true
+	w.at = lbn
+	w.atT = p.Now() + seek
+	w.end = lbn + n
+}
+
+func cylOf(g *geom, lbn int64) int64 {
+	c, _, _ := g.decompose(lbn)
+	return c
+}

@@ -1,0 +1,162 @@
+// Package exp is the experiment harness: it assembles the simulated
+// machine from a Config (Table 1 defaults), runs one whole-file transfer
+// under the selected file system, verifies the data end to end, and
+// reports throughput plus substrate metrics. The figure generators that
+// regenerate the paper's evaluation live in figures.go.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ddio/internal/core"
+	"ddio/internal/disk"
+	"ddio/internal/netsim"
+	"ddio/internal/pfs"
+	"ddio/internal/tcfs"
+	"ddio/internal/twophase"
+)
+
+// MiB matches the paper's "Mbytes": the quoted disk peak of 2.34
+// Mbytes/s is the HP 97560's 2.46e6 B/s expressed in 2^20-byte units.
+const MiB = 1 << 20
+
+// Method selects the file-system implementation under test.
+type Method int
+
+// Methods.
+const (
+	// TraditionalCaching is the baseline of Figure 1a.
+	TraditionalCaching Method = iota
+	// DiskDirected is disk-directed I/O without the block-list presort.
+	DiskDirected
+	// DiskDirectedSort is disk-directed I/O with the presort
+	// (Figure 1c as written).
+	DiskDirectedSort
+	// TwoPhase is del Rosario/Bordawekar/Choudhary two-phase I/O,
+	// which the paper discusses (§7.1) but did not simulate.
+	TwoPhase
+)
+
+func (m Method) String() string {
+	switch m {
+	case TraditionalCaching:
+		return "TC"
+	case DiskDirected:
+		return "DDIO"
+	case DiskDirectedSort:
+		return "DDIO+sort"
+	case TwoPhase:
+		return "2phase"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a method name ("tc", "ddio", "ddio-sort",
+// "2phase") to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "tc", "TC", "caching":
+		return TraditionalCaching, nil
+	case "ddio", "DDIO":
+		return DiskDirected, nil
+	case "ddio-sort", "DDIO+sort", "sort":
+		return DiskDirectedSort, nil
+	case "2phase", "twophase":
+		return TwoPhase, nil
+	}
+	return 0, fmt.Errorf("exp: unknown method %q", s)
+}
+
+// Config describes one experiment: machine shape, file, pattern, layout,
+// and method, with all substrate parameters exposed for ablations.
+type Config struct {
+	Method  Method
+	Pattern string // paper shorthand, e.g. "ra", "rcb", "wb"
+
+	NCP    int
+	NIOP   int
+	NDisks int
+
+	FileBytes  int64
+	BlockSize  int
+	RecordSize int
+	Layout     pfs.LayoutKind
+
+	Seed   int64
+	Verify bool
+
+	Disk         *disk.Spec
+	DiskSched    disk.Scheduler // nil = FCFS
+	Net          netsim.Config
+	BusBandwidth float64
+	BusOverhead  time.Duration
+	BarrierCost  time.Duration
+
+	TC tcfs.Params
+	DD core.Params
+	TP twophase.Params
+}
+
+// DefaultConfig returns the paper's Table 1 configuration: 16 CPs, 16
+// IOPs with one SCSI bus and one HP 97560 each, a 10 MB file in 8 KB
+// blocks, 8 KB records, the ra pattern, traditional caching, and the
+// random-blocks layout.
+func DefaultConfig() Config {
+	return Config{
+		Method:       TraditionalCaching,
+		Pattern:      "ra",
+		NCP:          16,
+		NIOP:         16,
+		NDisks:       16,
+		FileBytes:    10 * MiB,
+		BlockSize:    8 * 1024,
+		RecordSize:   8 * 1024,
+		Layout:       pfs.RandomBlocks,
+		Seed:         1,
+		Verify:       true,
+		Disk:         disk.HP97560(),
+		Net:          netsim.DefaultConfig(),
+		BusBandwidth: 10e6,
+		BusOverhead:  100 * time.Microsecond,
+		BarrierCost:  50 * time.Microsecond,
+		TC:           tcfs.DefaultParams(),
+		DD:           core.DefaultParams(),
+		TP:           twophase.DefaultParams(),
+	}
+}
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	switch {
+	case c.NCP < 1 || c.NIOP < 1 || c.NDisks < 1:
+		return fmt.Errorf("exp: need at least one CP, IOP and disk")
+	case c.FileBytes <= 0 || c.BlockSize <= 0 || c.RecordSize <= 0:
+		return fmt.Errorf("exp: file, block and record sizes must be positive")
+	case c.FileBytes%int64(c.BlockSize) != 0:
+		return fmt.Errorf("exp: file size %d not a multiple of block size %d", c.FileBytes, c.BlockSize)
+	case c.FileBytes%int64(c.RecordSize) != 0:
+		return fmt.Errorf("exp: file size %d not a multiple of record size %d", c.FileBytes, c.RecordSize)
+	case c.Disk == nil:
+		return fmt.Errorf("exp: no disk spec")
+	case c.BlockSize%c.Disk.SectorSize != 0:
+		return fmt.Errorf("exp: block size %d not a multiple of sector size %d", c.BlockSize, c.Disk.SectorSize)
+	}
+	return nil
+}
+
+// NumBlocks returns the file length in blocks.
+func (c *Config) NumBlocks() int { return int(c.FileBytes / int64(c.BlockSize)) }
+
+// MaxBandwidthMBps returns the hardware ceiling for this configuration
+// in MiB/s: the disks' aggregate sustained rate or the busses' aggregate
+// bandwidth, whichever binds (the "Max bandwidth" line of Figures 5–8).
+func (c *Config) MaxBandwidthMBps() float64 {
+	diskBW := float64(c.NDisks) * c.Disk.SustainedRate()
+	busBW := float64(c.NIOP) * c.BusBandwidth
+	if busBW < diskBW {
+		return busBW / MiB
+	}
+	return diskBW / MiB
+}

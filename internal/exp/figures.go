@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ddio/internal/hpf"
+	"ddio/internal/pfs"
+)
+
+// Options control figure regeneration. The paper used five trials of a
+// 10 MB file; smaller settings reproduce the same shapes faster (the
+// paper itself notes 10 MB was chosen over 100/1000 MB to save
+// simulation time, with qualitatively similar results).
+type Options struct {
+	Trials    int
+	FileBytes int64
+	Seed      int64
+	Verify    bool
+	// Progress, if non-nil, receives one line per completed cell.
+	Progress func(string)
+}
+
+// DefaultOptions mirrors the paper's experimental design.
+func DefaultOptions() Options {
+	return Options{Trials: 5, FileBytes: 10 * MiB, Seed: 42, Verify: true}
+}
+
+func (o Options) base() Config {
+	cfg := DefaultConfig()
+	cfg.FileBytes = o.FileBytes
+	cfg.Seed = o.Seed
+	cfg.Verify = o.Verify
+	return cfg
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// patternTable measures patterns × methods at a fixed layout/record size.
+func patternTable(o Options, id, title string, layout pfs.LayoutKind, recordSize int,
+	patterns []string, methods []Method) (*Table, error) {
+	t := &Table{ID: id, Title: title, RowLabel: "pattern", Rows: patterns}
+	for _, m := range methods {
+		t.Cols = append(t.Cols, m.String())
+	}
+	t.Cells = make([][]Cell, len(patterns))
+	for i, pat := range patterns {
+		t.Cells[i] = make([]Cell, len(methods))
+		for j, method := range methods {
+			cfg := o.base()
+			cfg.Layout = layout
+			cfg.RecordSize = recordSize
+			cfg.Pattern = pat
+			cfg.Method = method
+			tr, err := Trials(cfg, o.Trials)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s/%v: %w", id, pat, method, err)
+			}
+			t.Cells[i][j] = Cell{Mean: tr.Mean, CV: tr.CV}
+			o.progress("%s %-4s %-9v %7.2f MB/s (cv %.3f)", id, pat, method, tr.Mean, tr.CV)
+		}
+	}
+	return t, nil
+}
+
+// Figure3 reproduces the paper's Figure 3: all 19 patterns on the
+// random-blocks layout under traditional caching and disk-directed I/O
+// with and without presorting, for 8-byte (3a) and 8192-byte (3b)
+// records.
+func Figure3(o Options) ([]*Table, error) {
+	methods := []Method{TraditionalCaching, DiskDirected, DiskDirectedSort}
+	a, err := patternTable(o, "fig3a", "throughput (MB/s), random-blocks layout, 8-byte records",
+		pfs.RandomBlocks, 8, hpf.AllPatterns(), methods)
+	if err != nil {
+		return nil, err
+	}
+	b, err := patternTable(o, "fig3b", "throughput (MB/s), random-blocks layout, 8192-byte records",
+		pfs.RandomBlocks, 8192, hpf.AllPatterns(), methods)
+	if err != nil {
+		return nil, err
+	}
+	note := "ra throughput is normalized by the number of CPs, as in the paper"
+	a.Note, b.Note = note, note
+	return []*Table{a, b}, nil
+}
+
+// Figure4 reproduces Figure 4: the same grid on the contiguous layout
+// (presort is a no-op there, so DDIO runs unsorted, as plotted in the
+// paper).
+func Figure4(o Options) ([]*Table, error) {
+	methods := []Method{TraditionalCaching, DiskDirected}
+	a, err := patternTable(o, "fig4a", "throughput (MB/s), contiguous layout, 8-byte records",
+		pfs.Contiguous, 8, hpf.AllPatterns(), methods)
+	if err != nil {
+		return nil, err
+	}
+	b, err := patternTable(o, "fig4b", "throughput (MB/s), contiguous layout, 8192-byte records",
+		pfs.Contiguous, 8192, hpf.AllPatterns(), methods)
+	if err != nil {
+		return nil, err
+	}
+	base := o.base()
+	note := fmt.Sprintf("peak aggregate disk throughput is %.1f MB/s", base.MaxBandwidthMBps())
+	a.Note, b.Note = note, note
+	return []*Table{a, b}, nil
+}
+
+// sweepTable measures a machine-shape sweep for the ra/rn/rb/rc patterns
+// under TC and DDIO (Figures 5–8). mutate applies the swept value to the
+// config; rows are labeled with the swept values.
+func sweepTable(o Options, id, title, rowLabel string, values []int,
+	layout pfs.LayoutKind, ddioMethod Method, mutate func(*Config, int)) (*Table, error) {
+	patterns := []string{"ra", "rn", "rb", "rc"}
+	t := &Table{ID: id, Title: title, RowLabel: rowLabel}
+	for _, m := range []Method{ddioMethod, TraditionalCaching} {
+		for _, p := range patterns {
+			t.Cols = append(t.Cols, fmt.Sprintf("%s %s", m, p))
+		}
+	}
+	t.Cols = append(t.Cols, "max-bw")
+	for _, v := range values {
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", v))
+		row := make([]Cell, 0, len(t.Cols))
+		var ceiling float64
+		for _, m := range []Method{ddioMethod, TraditionalCaching} {
+			for _, p := range patterns {
+				cfg := o.base()
+				cfg.Layout = layout
+				cfg.RecordSize = 8192
+				cfg.Pattern = p
+				cfg.Method = m
+				mutate(&cfg, v)
+				ceiling = cfg.MaxBandwidthMBps()
+				tr, err := Trials(cfg, o.Trials)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s/%v@%d: %w", id, p, m, v, err)
+				}
+				row = append(row, Cell{Mean: tr.Mean, CV: tr.CV})
+				o.progress("%s %s=%d %-4s %-9v %7.2f MB/s (cv %.3f)", id, rowLabel, v, p, m, tr.Mean, tr.CV)
+			}
+		}
+		row = append(row, Cell{Mean: ceiling})
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// Figure5 reproduces Figure 5: throughput as the number of CPs varies
+// (contiguous layout, 8 KB records, 16 IOPs and disks fixed).
+func Figure5(o Options) (*Table, error) {
+	return sweepTable(o, "fig5", "throughput vs number of CPs (contiguous, 8 KB records)",
+		"CPs", []int{1, 2, 4, 8, 16}, pfs.Contiguous, DiskDirected,
+		func(c *Config, v int) { c.NCP = v })
+}
+
+// Figure6 reproduces Figure 6: the number of IOPs (and busses) varies
+// while 16 disks are redistributed among them.
+func Figure6(o Options) (*Table, error) {
+	return sweepTable(o, "fig6", "throughput vs number of IOPs/busses (16 disks, contiguous, 8 KB records)",
+		"IOPs", []int{1, 2, 4, 8, 16}, pfs.Contiguous, DiskDirected,
+		func(c *Config, v int) { c.NIOP = v })
+}
+
+// Figure7 reproduces Figure 7: the number of disks varies on a single
+// IOP/bus, contiguous layout.
+func Figure7(o Options) (*Table, error) {
+	return sweepTable(o, "fig7", "throughput vs number of disks (1 IOP/bus, contiguous, 8 KB records)",
+		"disks", []int{1, 2, 4, 8, 16, 32}, pfs.Contiguous, DiskDirected,
+		func(c *Config, v int) { c.NIOP = 1; c.NDisks = v })
+}
+
+// Figure8 reproduces Figure 8: as Figure 7 but on the random-blocks
+// layout (disk-directed I/O presorts there, as in the paper).
+func Figure8(o Options) (*Table, error) {
+	return sweepTable(o, "fig8", "throughput vs number of disks (1 IOP/bus, random-blocks, 8 KB records)",
+		"disks", []int{1, 2, 4, 8, 16, 32}, pfs.RandomBlocks, DiskDirectedSort,
+		func(c *Config, v int) { c.NIOP = 1; c.NDisks = v })
+}
+
+// Table1 renders the simulator parameters (the paper's Table 1).
+func Table1() string {
+	cfg := DefaultConfig()
+	spec := cfg.Disk
+	var b strings.Builder
+	b.WriteString("table1 — simulator parameters\n")
+	rows := [][2]string{
+		{"MIMD, distributed-memory", fmt.Sprintf("%d processors", cfg.NCP+cfg.NIOP)},
+		{"Compute processors (CPs)", fmt.Sprintf("%d *", cfg.NCP)},
+		{"I/O processors (IOPs)", fmt.Sprintf("%d *", cfg.NIOP)},
+		{"CPU type", "50 MHz RISC (calibrated software costs)"},
+		{"Disks", fmt.Sprintf("%d *", cfg.NDisks)},
+		{"Disk type", spec.Name},
+		{"Disk capacity", fmt.Sprintf("%.1f GB", float64(spec.Capacity())/1e9)},
+		{"Disk peak transfer rate", fmt.Sprintf("%.2f Mbytes/s", spec.SustainedRate()/MiB)},
+		{"File-system block size", fmt.Sprintf("%d KB", cfg.BlockSize/1024)},
+		{"I/O busses (one per IOP)", fmt.Sprintf("%d *", cfg.NIOP)},
+		{"I/O bus type", "SCSI"},
+		{"I/O bus peak bandwidth", fmt.Sprintf("%.0f Mbytes/s", cfg.BusBandwidth/1e6)},
+		{"Interconnect topology", fmt.Sprintf("%dx%d torus", cfg.Net.Width, cfg.Net.Height)},
+		{"Interconnect bandwidth", fmt.Sprintf("%.0f*10^6 bytes/s bidirectional", cfg.Net.LinkBandwidth/1e6)},
+		{"Interconnect latency", fmt.Sprintf("%v per router", cfg.Net.RouterDelay)},
+		{"Routing", "wormhole"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %s\n", r[0], r[1])
+	}
+	b.WriteString("  (* varied in some experiments)\n")
+	return b.String()
+}

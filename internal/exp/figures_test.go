@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"testing"
+
+	"ddio/internal/pfs"
+)
+
+// tinyOptions keeps figure machinery tests fast: one trial, small file.
+func tinyOptions() Options {
+	return Options{Trials: 1, FileBytes: 1 * MiB, Seed: 3, Verify: true}
+}
+
+func TestPatternTableShape(t *testing.T) {
+	o := tinyOptions()
+	tab, err := patternTable(o, "figT", "test", pfs.Contiguous, 8192,
+		[]string{"rb", "rc"}, []Method{TraditionalCaching, DiskDirected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Cols) != 2 || len(tab.Cells) != 2 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Cols))
+	}
+	for i := range tab.Cells {
+		for j := range tab.Cells[i] {
+			if tab.Cells[i][j].Mean <= 0 {
+				t.Fatalf("cell (%d,%d) empty", i, j)
+			}
+		}
+	}
+}
+
+func TestSweepTableShape(t *testing.T) {
+	o := tinyOptions()
+	tab, err := sweepTable(o, "figS", "test", "CPs", []int{1, 2}, pfs.Contiguous,
+		DiskDirected, func(c *Config, v int) { c.NCP = v; c.NIOP, c.NDisks = 4, 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// 2 methods x 4 patterns + max-bw column.
+	if len(tab.Cols) != 9 {
+		t.Fatalf("cols %d: %v", len(tab.Cols), tab.Cols)
+	}
+	if mb, ok := tab.Cell("1", "max-bw"); !ok || mb.Mean <= 0 {
+		t.Fatalf("max-bw cell %v %v", mb, ok)
+	}
+}
+
+// TestFigureShapes runs a miniature of the full evaluation and checks
+// the paper's qualitative claims hold even at 1/10 the file size:
+// disk-directed beats traditional caching on the random layout, the
+// presort wins, and the contiguous layout beats the random layout.
+func TestFigureShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miniature evaluation still takes seconds")
+	}
+	o := tinyOptions()
+	run := func(method Method, pattern string, layout pfs.LayoutKind, rec int) float64 {
+		cfg := o.base()
+		cfg.Method = method
+		cfg.Pattern = pattern
+		cfg.Layout = layout
+		cfg.RecordSize = rec
+		tr, err := Trials(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Mean
+	}
+	tcRandom := run(TraditionalCaching, "rc", pfs.RandomBlocks, 8)
+	ddSorted := run(DiskDirectedSort, "rc", pfs.RandomBlocks, 8)
+	ddPlain := run(DiskDirected, "rc", pfs.RandomBlocks, 8)
+	ddContig := run(DiskDirected, "rc", pfs.Contiguous, 8192)
+	if ddSorted < 2*tcRandom {
+		t.Errorf("DDIO+sort (%.2f) should beat TC (%.2f) by far on random 8-byte cyclic", ddSorted, tcRandom)
+	}
+	if ddSorted <= ddPlain {
+		t.Errorf("presort (%.2f) should beat unsorted (%.2f) on random layout", ddSorted, ddPlain)
+	}
+	if ddContig < 2*ddSorted {
+		t.Errorf("contiguous (%.2f) should dwarf random (%.2f)", ddContig, ddSorted)
+	}
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeFig builds a synthetic figure table for headline math; rows are
+// fixed to {ra, rc} for determinism.
+func fakeFig(cols []string, cells map[string][]float64) *Table {
+	t := &Table{RowLabel: "pattern", Cols: cols}
+	rows := []string{"ra", "rc"}
+	t.Rows = rows
+	for _, r := range rows {
+		var cs []Cell
+		for _, m := range cells[r] {
+			cs = append(cs, Cell{Mean: m})
+		}
+		t.Cells = append(t.Cells, cs)
+	}
+	return t
+}
+
+func TestComputeHeadlines(t *testing.T) {
+	cols3 := []string{"TC", "DDIO", "DDIO+sort"}
+	cols4 := []string{"TC", "DDIO"}
+	fig3 := []*Table{
+		fakeFig(cols3, map[string][]float64{"ra": {1.0, 4.0, 6.0}, "rc": {0.8, 4.5, 6.3}}),
+		fakeFig(cols3, map[string][]float64{"ra": {3.0, 4.4, 6.2}, "rc": {2.0, 4.2, 6.1}}),
+	}
+	fig4 := []*Table{
+		fakeFig(cols4, map[string][]float64{"ra": {20.0, 33.0}, "rc": {2.0, 32.0}}),
+		fakeFig(cols4, map[string][]float64{"ra": {25.0, 33.0}, "rc": {15.0, 32.5}}),
+	}
+	h, err := ComputeHeadlines(fig3, fig4, 34.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max random speedup: 6.3/0.8 = 7.875.
+	if h.MaxSpeedupRandom < 7.8 || h.MaxSpeedupRandom > 7.95 {
+		t.Fatalf("random speedup %.3f", h.MaxSpeedupRandom)
+	}
+	if !strings.Contains(h.MaxSpeedupRandomAt, "rc") {
+		t.Fatalf("speedup location %q", h.MaxSpeedupRandomAt)
+	}
+	// Max contiguous speedup: 32/2 = 16.
+	if h.MaxSpeedupContig != 16 {
+		t.Fatalf("contig speedup %.3f", h.MaxSpeedupContig)
+	}
+	// Presort gains: 6/4-1=.5, 6.3/4.5-1=.4, 6.2/4.4-1≈.409, 6.1/4.2-1≈.452.
+	if h.PresortGainMin < 0.39 || h.PresortGainMax > 0.51 {
+		t.Fatalf("presort range %.2f..%.2f", h.PresortGainMin, h.PresortGainMax)
+	}
+	// Peak fraction: 33/34.8 ≈ 0.948.
+	if h.PeakFraction < 0.94 || h.PeakFraction > 0.96 {
+		t.Fatalf("peak fraction %.3f", h.PeakFraction)
+	}
+	if h.ContigOverRandom <= 1 {
+		t.Fatalf("contig/random %.2f", h.ContigOverRandom)
+	}
+	out := h.Format()
+	for _, want := range []string{"16.0x", "93%", "41-50%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted headlines missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeHeadlinesRejectsWrongShape(t *testing.T) {
+	if _, err := ComputeHeadlines(nil, nil, 1); err == nil {
+		t.Fatal("accepted empty tables")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("median %v", m)
+	}
+	if m := median([]float64{2, 1}); m != 2 {
+		t.Fatalf("even median %v", m)
+	}
+}

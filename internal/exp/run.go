@@ -1,0 +1,282 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ddio/internal/bus"
+	"ddio/internal/cluster"
+	"ddio/internal/core"
+	"ddio/internal/disk"
+	"ddio/internal/hpf"
+	"ddio/internal/pfs"
+	"ddio/internal/sim"
+	"ddio/internal/tcfs"
+	"ddio/internal/twophase"
+)
+
+// DiskTotals sums the per-disk metrics of a run.
+type DiskTotals struct {
+	Reads, Writes          int64
+	CacheHits, CacheStream int64
+	Seeks                  int64
+	SeekCylinders          int64
+	QueueWait              time.Duration
+	Busy                   time.Duration
+}
+
+// Result reports one experiment run.
+type Result struct {
+	Config  Config
+	Elapsed time.Duration
+	// MBps is the paper's reported number: file bytes over elapsed time
+	// in MiB/s; for the ra pattern this is already the "normalized by
+	// number of CPs" value since every CP moved a whole file copy.
+	MBps float64
+	// AggMBps counts all application bytes actually moved (ra moves
+	// NCP copies).
+	AggMBps    float64
+	MovedBytes int64
+
+	Disk     DiskTotals
+	BusBusy  time.Duration
+	NetMsgs  int64
+	NetBytes int64
+	IOPBusy  time.Duration // total IOP CPU busy time
+	CPBusy   time.Duration // total CP CPU busy time
+	TC       tcfs.Metrics
+	DD       core.Metrics
+	Events   int64
+
+	VerifyErrors int
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pat, err := hpf.ParsePattern(cfg.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := pat.Decomp(cfg.FileBytes, cfg.RecordSize, cfg.NCP)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	defer eng.Close()
+	rng := sim.NewRand(cfg.Seed)
+	m := cluster.New(eng, cfg.Net, cfg.NCP, cfg.NIOP, rng)
+
+	buses := make([]*bus.Bus, cfg.NIOP)
+	for i := range buses {
+		buses[i] = bus.New(eng, fmt.Sprintf("bus%d", i), cfg.BusBandwidth, cfg.BusOverhead)
+	}
+	disks := make([]*disk.Disk, cfg.NDisks)
+	for d := range disks {
+		disks[d] = disk.New(eng, fmt.Sprintf("d%d", d), cfg.Disk, buses[d%cfg.NIOP], cfg.DiskSched)
+	}
+	f, err := pfs.NewFile(disks, cfg.BlockSize, cfg.NumBlocks(), cfg.Layout, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the file system under test and the per-CP transfer bodies.
+	var runCP func(p *sim.Proc, cp int)
+	var endTime func() sim.Time
+	var collectTC func(r *Result)
+	var collectDD func(r *Result)
+	memBytes := func(cp int) int64 { return dec.CPBytes(cp) }
+
+	switch cfg.Method {
+	case TraditionalCaching:
+		servers := make([]*tcfs.Server, cfg.NIOP)
+		for i := range servers {
+			servers[i] = tcfs.NewServer(m, m.IOPs[i], f, cfg.NCP, cfg.TC)
+		}
+		client := tcfs.NewClient(m, f, dec, servers, cfg.TC)
+		runCP = func(p *sim.Proc, cp int) { client.TransferCP(p, cp, pat.Write) }
+		endTime = client.EndTime
+		collectTC = func(r *Result) {
+			for _, s := range servers {
+				sm := s.Metrics()
+				r.TC.Requests += sm.Requests
+				r.TC.Reads += sm.Reads
+				r.TC.Writes += sm.Writes
+				r.TC.CacheHits += sm.CacheHits
+				r.TC.CacheMiss += sm.CacheMiss
+				r.TC.Prefetches += sm.Prefetches
+				r.TC.Flushes += sm.Flushes
+				r.TC.PartialRMW += sm.PartialRMW
+			}
+		}
+	case DiskDirected, DiskDirectedSort:
+		prm := cfg.DD
+		prm.Presort = cfg.Method == DiskDirectedSort
+		servers := make([]*core.Server, cfg.NIOP)
+		for i := range servers {
+			servers[i] = core.NewServer(m, m.IOPs[i], f, prm)
+		}
+		client := core.NewClient(m, f, dec, servers, prm)
+		runCP = func(p *sim.Proc, cp int) { client.CollectiveCP(p, cp, pat.Write) }
+		endTime = client.EndTime
+		collectDD = func(r *Result) {
+			for _, s := range servers {
+				sm := s.Metrics()
+				r.DD.Requests += sm.Requests
+				r.DD.Blocks += sm.Blocks
+				r.DD.Memputs += sm.Memputs
+				r.DD.Memgets += sm.Memgets
+				r.DD.PartialBlockRMW += sm.PartialBlockRMW
+			}
+		}
+	case TwoPhase:
+		servers := make([]*tcfs.Server, cfg.NIOP)
+		for i := range servers {
+			servers[i] = tcfs.NewServer(m, m.IOPs[i], f, cfg.NCP, cfg.TC)
+		}
+		client, err := twophase.NewClient(m, f, dec, servers, cfg.TC, cfg.TP)
+		if err != nil {
+			return nil, err
+		}
+		memBytes = client.MemBytes
+		runCP = func(p *sim.Proc, cp int) { client.TransferCP(p, cp, pat.Write) }
+		endTime = client.EndTime
+	default:
+		return nil, fmt.Errorf("exp: unknown method %v", cfg.Method)
+	}
+
+	// Allocate CP memory; writes start with the application data (the
+	// deterministic file image) already in memory.
+	for cp, node := range m.CPs {
+		node.Mem = make([]byte, memBytes(cp))
+	}
+	if pat.Write {
+		for cp, node := range m.CPs {
+			for _, ch := range dec.Chunks(cp) {
+				pfs.FillImage(node.Mem[ch.MemOff:ch.MemOff+ch.Len], ch.FileOff)
+			}
+		}
+	} else {
+		f.Preload()
+	}
+
+	for cp := range m.CPs {
+		cp := cp
+		eng.Go(fmt.Sprintf("cp%d", cp), func(p *sim.Proc) {
+			p.Sleep(cfg.BarrierCost) // collective entry cost (negligible, §3)
+			runCP(p, cp)
+		})
+	}
+	eng.Run()
+
+	end := endTime()
+	if end == 0 {
+		return nil, fmt.Errorf("exp: %v/%s did not complete; blocked procs: %v",
+			cfg.Method, cfg.Pattern, eng.BlockedProcs())
+	}
+
+	r := &Result{Config: cfg, Elapsed: end.Duration(), Events: eng.Events()}
+	r.MovedBytes = 0
+	for cp := 0; cp < cfg.NCP; cp++ {
+		r.MovedBytes += dec.CPBytes(cp)
+	}
+	sec := r.Elapsed.Seconds()
+	r.MBps = float64(cfg.FileBytes) / sec / MiB
+	r.AggMBps = float64(r.MovedBytes) / sec / MiB
+
+	if cfg.Verify {
+		r.VerifyErrors = verify(cfg, pat, dec, f, m)
+	}
+
+	for _, d := range disks {
+		dm := d.Metrics()
+		r.Disk.Reads += dm.Reads
+		r.Disk.Writes += dm.Writes
+		r.Disk.CacheHits += dm.CacheHits
+		r.Disk.CacheStream += dm.CacheStreams
+		r.Disk.Seeks += dm.SeekCount
+		r.Disk.SeekCylinders += dm.SeekCylinders
+		r.Disk.QueueWait += dm.QueueWait
+		r.Disk.Busy += dm.Busy
+	}
+	for _, b := range buses {
+		r.BusBusy += b.Busy()
+	}
+	r.NetMsgs = m.Net.Messages()
+	r.NetBytes = m.Net.Bytes()
+	for _, n := range m.IOPs {
+		r.IOPBusy += n.CPU.Busy()
+	}
+	for _, n := range m.CPs {
+		r.CPBusy += n.CPU.Busy()
+	}
+	if collectTC != nil {
+		collectTC(r)
+	}
+	if collectDD != nil {
+		collectDD(r)
+	}
+	return r, nil
+}
+
+// verify checks every byte that should have moved. Reads: each CP's
+// buffer must hold the image of its chunks. Writes: the file read back
+// from the disks must equal the image.
+func verify(cfg Config, pat hpf.Pattern, dec *hpf.Decomp, f *pfs.File, m *cluster.Machine) int {
+	errs := 0
+	if pat.Write {
+		data := f.ReadBack()
+		for off := 0; off < len(data); off += cfg.BlockSize {
+			endOff := off + cfg.BlockSize
+			if pfs.VerifyImage(data[off:endOff], int64(off)) >= 0 {
+				errs++
+			}
+		}
+		return errs
+	}
+	for cp, node := range m.CPs {
+		for _, ch := range dec.Chunks(cp) {
+			if pfs.VerifyImage(node.Mem[ch.MemOff:ch.MemOff+ch.Len], ch.FileOff) >= 0 {
+				errs++
+			}
+		}
+	}
+	return errs
+}
+
+// Trial is the aggregate of replicated runs of one configuration.
+type Trial struct {
+	Results []*Result
+	MBps    []float64
+	Mean    float64
+	CV      float64
+}
+
+// Trials replicates cfg n times with derived seeds (varying the random
+// disk layout and network jitter) and aggregates throughput.
+func Trials(cfg Config, n int) (*Trial, error) {
+	if n < 1 {
+		n = 1
+	}
+	t := &Trial{}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1000003
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		if r.VerifyErrors > 0 {
+			return nil, fmt.Errorf("exp: %v/%s seed %d: %d verification errors",
+				c.Method, c.Pattern, c.Seed, r.VerifyErrors)
+		}
+		t.Results = append(t.Results, r)
+		t.MBps = append(t.MBps, r.MBps)
+	}
+	t.Mean = mean(t.MBps)
+	t.CV = cv(t.MBps)
+	return t, nil
+}

@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"ddio/internal/pfs"
+)
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no cps", func(c *Config) { c.NCP = 0 }},
+		{"no iops", func(c *Config) { c.NIOP = 0 }},
+		{"no disks", func(c *Config) { c.NDisks = 0 }},
+		{"zero file", func(c *Config) { c.FileBytes = 0 }},
+		{"file not block multiple", func(c *Config) { c.FileBytes = 8192*3 + 1 }},
+		{"file not record multiple", func(c *Config) { c.RecordSize = 8192 * 3 }},
+		{"no disk spec", func(c *Config) { c.Disk = nil }},
+		{"block not sector multiple", func(c *Config) { c.BlockSize = 1000 }},
+	}
+	for _, m := range mutations {
+		cfg := DefaultConfig()
+		m.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestRunRejectsBadPattern(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.Pattern = "zz"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.Method = DiskDirectedSort
+	cfg.Pattern = "rb"
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Events != b.Events {
+		t.Fatalf("same seed, different runs: %v/%d vs %v/%d", a.Elapsed, a.Events, b.Elapsed, b.Events)
+	}
+}
+
+func TestSeedChangesRandomLayoutTiming(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.Method = DiskDirected // no presort: layout order matters most
+	cfg.Pattern = "rb"
+	cfg.Layout = pfs.RandomBlocks
+	cfg.Seed = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed == b.Elapsed {
+		t.Fatal("different seeds produced identical elapsed time on random layout")
+	}
+}
+
+func TestRANormalization(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.Method = DiskDirected
+	cfg.Pattern = "ra"
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MovedBytes != cfg.FileBytes*int64(cfg.NCP) {
+		t.Fatalf("ra moved %d bytes, want %d", r.MovedBytes, cfg.FileBytes*int64(cfg.NCP))
+	}
+	// Reported MBps is normalized (file/elapsed), aggregate is NCP times
+	// larger.
+	if r.AggMBps < 3.9*r.MBps || r.AggMBps > 4.1*r.MBps {
+		t.Fatalf("agg %.2f vs normalized %.2f with 4 CPs", r.AggMBps, r.MBps)
+	}
+}
+
+func TestMetricsArePopulated(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.Method = TraditionalCaching
+	cfg.Pattern = "rb"
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Disk.Reads == 0 || r.NetMsgs == 0 || r.IOPBusy == 0 || r.TC.Requests == 0 {
+		t.Fatalf("metrics not collected: %+v", r)
+	}
+	cfg.Method = DiskDirectedSort
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.DD.Blocks == 0 || r2.DD.Memputs == 0 {
+		t.Fatalf("DD metrics not collected: %+v", r2.DD)
+	}
+}
+
+func TestTrialsAggregates(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.Method = DiskDirectedSort
+	cfg.Pattern = "rb"
+	tr, err := Trials(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Results) != 3 || len(tr.MBps) != 3 {
+		t.Fatalf("trial count %d", len(tr.Results))
+	}
+	if tr.Mean <= 0 {
+		t.Fatalf("mean %v", tr.Mean)
+	}
+	if tr.CV < 0 || tr.CV > 0.5 {
+		t.Fatalf("cv %v out of sane range", tr.CV)
+	}
+	// Seeds must differ across trials.
+	if tr.Results[0].Config.Seed == tr.Results[1].Config.Seed {
+		t.Fatal("trials reused the seed")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Method
+	}{{"tc", TraditionalCaching}, {"ddio", DiskDirected}, {"ddio-sort", DiskDirectedSort}, {"2phase", TwoPhase}} {
+		got, err := ParseMethod(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseMethod(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseMethod("zz"); err == nil {
+		t.Error("bogus method accepted")
+	}
+	if TraditionalCaching.String() != "TC" || DiskDirectedSort.String() != "DDIO+sort" {
+		t.Error("method names")
+	}
+	if !strings.Contains(Method(99).String(), "99") {
+		t.Error("unknown method string")
+	}
+}
+
+func TestMaxBandwidthCeilings(t *testing.T) {
+	cfg := DefaultConfig()
+	// 16 disks x ~2.2 vs 16 busses x ~9.5: disks bind.
+	diskBound := cfg.MaxBandwidthMBps()
+	if diskBound < 30 || diskBound > 40 {
+		t.Fatalf("16-disk ceiling %.1f", diskBound)
+	}
+	cfg.NIOP = 1
+	cfg.NDisks = 16
+	busBound := cfg.MaxBandwidthMBps()
+	if busBound > 10 {
+		t.Fatalf("single-bus ceiling %.1f, want <= 10 MB/s", busBound)
+	}
+}
+
+func TestNumBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NumBlocks() != 1280 {
+		t.Fatalf("10 MB / 8 KB = %d blocks", cfg.NumBlocks())
+	}
+}
+
+func TestTwoPhaseThroughRunner(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.Method = TwoPhase
+	cfg.Pattern = "rc"
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VerifyErrors != 0 {
+		t.Fatalf("verify errors %d", r.VerifyErrors)
+	}
+}
+
+func TestTrialsFailOnVerifyError(t *testing.T) {
+	// Sanity: trials propagate run errors (bad pattern here).
+	cfg := smokeCfg()
+	cfg.Pattern = "qq"
+	if _, err := Trials(cfg, 2); err == nil {
+		t.Fatal("bad pattern not propagated")
+	}
+}

@@ -1,0 +1,36 @@
+package exp
+
+import "testing"
+
+// smokeCfg is a small configuration exercising the full stack quickly.
+func smokeCfg() Config {
+	cfg := DefaultConfig()
+	cfg.NCP, cfg.NIOP, cfg.NDisks = 4, 4, 4
+	cfg.FileBytes = 1 * MiB
+	cfg.RecordSize = 8 * 1024
+	return cfg
+}
+
+func TestSmokeAllMethods(t *testing.T) {
+	for _, method := range []Method{TraditionalCaching, DiskDirected, DiskDirectedSort, TwoPhase} {
+		for _, pattern := range []string{"ra", "rn", "rb", "rc", "rbb", "wb", "wc"} {
+			if method == TwoPhase && pattern == "ra" {
+				continue // permuting to ALL is not meaningful for two-phase
+			}
+			cfg := smokeCfg()
+			cfg.Method = method
+			cfg.Pattern = pattern
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", method, pattern, err)
+			}
+			if r.VerifyErrors > 0 {
+				t.Errorf("%v/%s: %d verify errors", method, pattern, r.VerifyErrors)
+			}
+			if r.MBps <= 0 {
+				t.Errorf("%v/%s: throughput %v", method, pattern, r.MBps)
+			}
+			t.Logf("%v/%-4s %7.2f MB/s elapsed=%v events=%d", method, pattern, r.MBps, r.Elapsed, r.Events)
+		}
+	}
+}

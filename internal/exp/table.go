@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell is one measured table entry: mean throughput over trials and its
+// coefficient of variation.
+type Cell struct {
+	Mean float64
+	CV   float64
+}
+
+// Table is one reproduced figure or table: rows × columns of throughput
+// cells, formatted like the paper reports them.
+type Table struct {
+	ID       string // "fig3a", "fig7", "table1", ...
+	Title    string
+	RowLabel string // "pattern" or the swept parameter
+	Rows     []string
+	Cols     []string
+	Cells    [][]Cell
+	Note     string
+}
+
+// Format renders the table as aligned text (MB/s means; cv in
+// parentheses when it exceeds 0.005).
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	w := len(t.RowLabel)
+	for _, r := range t.Rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", w+2, t.RowLabel)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", w+2, r)
+		for j := range t.Cols {
+			c := t.Cells[i][j]
+			if c.CV > 0.005 {
+				fmt.Fprintf(&b, "%8.2f(%4.2f)", c.Mean, c.CV)
+			} else {
+				fmt.Fprintf(&b, "%14.2f", c.Mean)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (means only).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.RowLabel)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, ",%s", c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%s", r)
+		for j := range t.Cols {
+			fmt.Fprintf(&b, ",%.3f", t.Cells[i][j].Mean)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxCV returns the largest coefficient of variation in the table (the
+// paper quotes this per figure).
+func (t *Table) MaxCV() float64 {
+	var m float64
+	for i := range t.Cells {
+		for j := range t.Cells[i] {
+			if t.Cells[i][j].CV > m {
+				m = t.Cells[i][j].CV
+			}
+		}
+	}
+	return m
+}
+
+// Cell returns the cell at (row, col) by label; ok reports presence.
+func (t *Table) Cell(row, col string) (Cell, bool) {
+	for i, r := range t.Rows {
+		if r != row {
+			continue
+		}
+		for j, c := range t.Cols {
+			if c == col {
+				return t.Cells[i][j], true
+			}
+		}
+	}
+	return Cell{}, false
+}

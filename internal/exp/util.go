@@ -1,0 +1,6 @@
+package exp
+
+import "ddio/internal/stats"
+
+func mean(xs []float64) float64 { return stats.Mean(xs) }
+func cv(xs []float64) float64   { return stats.CV(xs) }

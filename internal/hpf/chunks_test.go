@@ -1,0 +1,157 @@
+package hpf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randomDecomp builds an arbitrary valid decomposition from fuzz input.
+func randomDecomp(rows, cols, rk, ck, recSel, gridSel uint8) *Decomp {
+	kinds := []DistKind{None, Block, Cyclic}
+	rkind, ckind := kinds[rk%3], kinds[ck%3]
+	nr := int(rows)%12 + 1
+	nc := int(cols)%12 + 1
+	rec := []int{1, 3, 8}[recSel%3]
+	prs := []int{1, 2, 4}[gridSel%3]
+	pr, pc := prs, 1
+	if rkind == None {
+		pr = 1
+	}
+	if ckind != None {
+		pc = 2
+	}
+	d, err := New2D(
+		Dim{N: nr, P: pr, Kind: rkind},
+		Dim{N: nc, P: pc, Kind: ckind},
+		rec, pr*pc)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Property: the chunk lists of all CPs partition the file exactly — every
+// byte appears in exactly one chunk — and each CP's memory offsets are
+// dense and non-overlapping.
+func TestQuickChunksPartitionFile(t *testing.T) {
+	f := func(rows, cols, rk, ck, recSel, gridSel uint8) bool {
+		d := randomDecomp(rows, cols, rk, ck, recSel, gridSel)
+		file := make([]int, d.FileBytes())
+		for cp := 0; cp < d.NCP; cp++ {
+			mem := make([]int, d.CPBytes(cp))
+			for _, c := range d.Chunks(cp) {
+				for i := int64(0); i < c.Len; i++ {
+					file[c.FileOff+i]++
+					mem[c.MemOff+i]++
+				}
+			}
+			for _, v := range mem {
+				if v != 1 {
+					return false // memory hole or overlap
+				}
+			}
+		}
+		for _, v := range file {
+			if v != 1 {
+				return false // file byte missed or duplicated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chunks are maximal — no two consecutive chunks of a CP could
+// have been merged.
+func TestQuickChunksMaximal(t *testing.T) {
+	f := func(rows, cols, rk, ck, recSel, gridSel uint8) bool {
+		d := randomDecomp(rows, cols, rk, ck, recSel, gridSel)
+		for cp := 0; cp < d.NCP; cp++ {
+			chunks := d.Chunks(cp)
+			for i := 1; i < len(chunks); i++ {
+				if chunks[i-1].FileOff+chunks[i-1].Len == chunks[i].FileOff &&
+					chunks[i-1].MemOff+chunks[i-1].Len == chunks[i].MemOff {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunksAscendingFileOrder(t *testing.T) {
+	d, _ := New2D(Dim{N: 8, P: 2, Kind: Cyclic}, Dim{N: 8, P: 2, Kind: Cyclic}, 4, 4)
+	for cp := 0; cp < 4; cp++ {
+		chunks := d.Chunks(cp)
+		for i := 1; i < len(chunks); i++ {
+			if chunks[i].FileOff <= chunks[i-1].FileOff {
+				t.Fatalf("cp%d chunks out of order", cp)
+			}
+		}
+	}
+}
+
+func TestChunksIdleCPIsEmpty(t *testing.T) {
+	// NONE over 4 CPs: CPs 1-3 own nothing.
+	d, err := New1D(16, None, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cp := 1; cp < 4; cp++ {
+		if len(d.Chunks(cp)) != 0 {
+			t.Fatalf("idle cp%d has chunks", cp)
+		}
+		if d.CPBytes(cp) != 0 {
+			t.Fatalf("idle cp%d owns %d bytes", cp, d.CPBytes(cp))
+		}
+	}
+	if d.ActiveCPs() != 1 {
+		t.Fatalf("ActiveCPs %d", d.ActiveCPs())
+	}
+}
+
+func TestNumChunksAndChunkBytes(t *testing.T) {
+	// 16 records cyclic over 4 CPs, 8-byte records: 16 chunks of 8 bytes.
+	d, _ := New1D(16, Cyclic, 8, 4)
+	if d.NumChunks() != 16 {
+		t.Fatalf("NumChunks %d", d.NumChunks())
+	}
+	if d.ChunkBytes() != 8 {
+		t.Fatalf("ChunkBytes %d", d.ChunkBytes())
+	}
+	// Block: 4 chunks of 32 bytes.
+	d2, _ := New1D(16, Block, 8, 4)
+	if d2.NumChunks() != 4 || d2.ChunkBytes() != 32 {
+		t.Fatalf("block: %d chunks, cs %d", d2.NumChunks(), d2.ChunkBytes())
+	}
+}
+
+func TestMemOffsetMatchesChunks(t *testing.T) {
+	d, _ := New2D(Dim{N: 6, P: 2, Kind: Block}, Dim{N: 6, P: 2, Kind: Cyclic}, 2, 4)
+	for cp := 0; cp < 4; cp++ {
+		for _, c := range d.Chunks(cp) {
+			rec := int(c.FileOff) / d.RecordSize
+			if d.Owner(rec) != cp {
+				t.Fatalf("chunk at %d not owned by cp%d", c.FileOff, cp)
+			}
+			if d.MemOffset(rec) != c.MemOff {
+				t.Fatalf("MemOffset(%d) = %d, chunk says %d", rec, d.MemOffset(rec), c.MemOff)
+			}
+		}
+	}
+}
+
+func TestOwnerPanicsForAll(t *testing.T) {
+	d, _ := NewAll(8, 1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.Owner(0)
+}

@@ -1,0 +1,58 @@
+package hpf
+
+// Run is a contiguous file range destined for (or sourced from) a single
+// CP's memory — the unit a disk-directed IOP moves with one Memput or
+// Memget. Runs never split records except at the requested range's
+// edges (a record straddling a file-block boundary produces runs in both
+// blocks).
+type Run struct {
+	CP      int
+	FileOff int64
+	MemOff  int64
+	Len     int64
+}
+
+// RunsInRange returns the runs covering file range [off, off+n), in
+// ascending file order, coalescing consecutive records with the same
+// owner. For All decompositions it returns one run per CP covering the
+// whole range (every CP receives the data).
+func (d *Decomp) RunsInRange(off, n int64) []Run {
+	if n <= 0 {
+		return nil
+	}
+	if d.All {
+		out := make([]Run, d.NCP)
+		for cp := 0; cp < d.NCP; cp++ {
+			out[cp] = Run{CP: cp, FileOff: off, MemOff: off, Len: n}
+		}
+		return out
+	}
+	rec := int64(d.RecordSize)
+	end := off + n
+	if fb := d.FileBytes(); end > fb {
+		end = fb
+	}
+	var out []Run
+	for pos := off; pos < end; {
+		r := int(pos / rec)
+		recStart := int64(r) * rec
+		pieceEnd := recStart + rec
+		if pieceEnd > end {
+			pieceEnd = end
+		}
+		cp := d.Owner(r)
+		memOff := d.MemOffset(r) + (pos - recStart)
+		pieceLen := pieceEnd - pos
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.CP == cp && last.FileOff+last.Len == pos && last.MemOff+last.Len == memOff {
+				last.Len += pieceLen
+				pos = pieceEnd
+				continue
+			}
+		}
+		out = append(out, Run{CP: cp, FileOff: pos, MemOff: memOff, Len: pieceLen})
+		pos = pieceEnd
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package hpf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: runs over any sub-range exactly cover that range, target the
+// right owners, and agree byte-for-byte with the chunk-derived memory
+// mapping.
+func TestQuickRunsCoverRange(t *testing.T) {
+	f := func(rows, cols, rk, ck, recSel, gridSel uint8, offRaw, lenRaw uint16) bool {
+		d := randomDecomp(rows, cols, rk, ck, recSel, gridSel)
+		fb := d.FileBytes()
+		off := int64(offRaw) % fb
+		n := int64(lenRaw)%(fb-off) + 1
+		runs := d.RunsInRange(off, n)
+		pos := off
+		for _, r := range runs {
+			if r.FileOff != pos || r.Len <= 0 {
+				return false // gap, overlap, or disorder
+			}
+			rec := int(r.FileOff) / d.RecordSize
+			if d.Owner(rec) != r.CP {
+				return false
+			}
+			wantMem := d.MemOffset(rec) + (r.FileOff - int64(rec)*int64(d.RecordSize))
+			if r.MemOff != wantMem {
+				return false
+			}
+			pos += r.Len
+		}
+		return pos == off+n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunsCoalesceConsecutiveSameOwner(t *testing.T) {
+	// BLOCK over 2 CPs: first half of the range is one run.
+	d, _ := New1D(16, Block, 4, 2)
+	runs := d.RunsInRange(0, 64)
+	if len(runs) != 2 {
+		t.Fatalf("runs %+v, want 2 coalesced runs", runs)
+	}
+	if runs[0].CP != 0 || runs[0].Len != 32 || runs[1].CP != 1 || runs[1].Len != 32 {
+		t.Fatalf("runs %+v", runs)
+	}
+}
+
+func TestRunsCyclicAlternate(t *testing.T) {
+	d, _ := New1D(8, Cyclic, 4, 2)
+	runs := d.RunsInRange(0, 32)
+	if len(runs) != 8 {
+		t.Fatalf("%d runs, want 8", len(runs))
+	}
+	for i, r := range runs {
+		if r.CP != i%2 || r.Len != 4 {
+			t.Fatalf("run %d: %+v", i, r)
+		}
+	}
+}
+
+func TestRunsRecordStraddlingRangeEdges(t *testing.T) {
+	// 24-byte records; ask for a range that splits records at both ends.
+	d, _ := New1D(4, Block, 24, 2)
+	runs := d.RunsInRange(10, 50) // covers tail of rec0, rec1, head of rec2
+	var total int64
+	for _, r := range runs {
+		total += r.Len
+	}
+	if total != 50 {
+		t.Fatalf("runs cover %d bytes, want 50", total)
+	}
+	// First run starts mid-record: memory offset must carry the same
+	// intra-record displacement.
+	if runs[0].FileOff != 10 || runs[0].MemOff != 10 {
+		t.Fatalf("first run %+v", runs[0])
+	}
+}
+
+func TestRunsAllPatternFansOut(t *testing.T) {
+	d, _ := NewAll(8, 4, 3)
+	runs := d.RunsInRange(8, 16)
+	if len(runs) != 3 {
+		t.Fatalf("%d runs, want one per CP", len(runs))
+	}
+	for cp, r := range runs {
+		if r.CP != cp || r.FileOff != 8 || r.MemOff != 8 || r.Len != 16 {
+			t.Fatalf("run %+v", r)
+		}
+	}
+}
+
+func TestRunsClampToFileEnd(t *testing.T) {
+	d, _ := New1D(4, Block, 8, 2)
+	runs := d.RunsInRange(24, 100) // beyond EOF
+	var total int64
+	for _, r := range runs {
+		total += r.Len
+	}
+	if total != 8 {
+		t.Fatalf("runs past EOF cover %d bytes, want 8", total)
+	}
+}
+
+func TestRunsEmptyRange(t *testing.T) {
+	d, _ := New1D(4, Block, 8, 2)
+	if runs := d.RunsInRange(8, 0); runs != nil {
+		t.Fatalf("empty range returned %+v", runs)
+	}
+}

@@ -1,0 +1,161 @@
+// Package netsim models the multiprocessor interconnect: a 2-D
+// bidirectional torus with wormhole routing, per Table 1 of the paper
+// (200·10⁶ bytes/s links, 20 ns per router). Because wormhole messages
+// pipeline through the fabric, end-to-end time is modeled as source-NIC
+// occupancy (DMA setup + bytes at link bandwidth), plus per-hop router
+// latency and a small seeded jitter, plus destination-NIC occupancy
+// overlapping the source's. NICs are first-come-first-served bandwidth
+// pipes, so senders and receivers contend realistically at the endpoints;
+// interior-link contention is not modeled (the paper's workloads are
+// endpoint-bound).
+package netsim
+
+import (
+	"time"
+
+	"ddio/internal/sim"
+)
+
+// Config holds interconnect parameters.
+type Config struct {
+	Width, Height int           // torus dimensions
+	LinkBandwidth float64       // bytes per second per link direction
+	RouterDelay   time.Duration // per hop
+	DMASetup      time.Duration // per message, charged at each NIC
+	HeaderBytes   int           // protocol header added to every message
+	JitterMax     time.Duration // uniform [0, JitterMax) added to wire time
+}
+
+// DefaultConfig returns the paper's Table 1 interconnect: a 6×6 torus of
+// 200 MB/s bidirectional links with 20 ns routers.
+func DefaultConfig() Config {
+	return Config{
+		Width:         6,
+		Height:        6,
+		LinkBandwidth: 200e6,
+		RouterDelay:   20 * time.Nanosecond,
+		DMASetup:      1 * time.Microsecond,
+		HeaderBytes:   32,
+		JitterMax:     2 * time.Microsecond,
+	}
+}
+
+// Network is one interconnect instance.
+type Network struct {
+	eng  *sim.Engine
+	cfg  Config
+	nics []nic
+	rng  *sim.Rand
+
+	msgs  int64
+	bytes int64
+}
+
+type nic struct {
+	in, out *sim.Pipe
+}
+
+// New builds a network with capacity for nNodes endpoints. If the
+// configured torus is too small for nNodes it is grown (keeping it as
+// square as possible), so sensitivity experiments can exceed 36 nodes.
+func New(e *sim.Engine, cfg Config, nNodes int, rng *sim.Rand) *Network {
+	for cfg.Width*cfg.Height < nNodes {
+		if cfg.Width <= cfg.Height {
+			cfg.Width++
+		} else {
+			cfg.Height++
+		}
+	}
+	n := &Network{eng: e, cfg: cfg, rng: rng.Stream("netjitter")}
+	n.nics = make([]nic, nNodes)
+	for i := range n.nics {
+		n.nics[i] = nic{
+			in:  sim.NewPipe(e, "nic-in", cfg.LinkBandwidth, cfg.DMASetup),
+			out: sim.NewPipe(e, "nic-out", cfg.LinkBandwidth, cfg.DMASetup),
+		}
+	}
+	return n
+}
+
+// Nodes returns the number of endpoints.
+func (n *Network) Nodes() int { return len(n.nics) }
+
+// Config returns the (possibly grown) configuration in use.
+func (n *Network) Config() Config { return n.cfg }
+
+// Hops returns the minimal routing distance between nodes a and b on the
+// torus (Manhattan distance with wraparound), counting one router at the
+// destination for a == b handled as zero.
+func (n *Network) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	w := n.cfg.Width
+	ax, ay := a%w, a/w
+	bx, by := b%w, b/w
+	dx := wrapDist(ax, bx, w)
+	dy := wrapDist(ay, by, n.cfg.Height)
+	return dx + dy
+}
+
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// MaxHops returns the torus diameter.
+func (n *Network) MaxHops() int { return n.cfg.Width/2 + n.cfg.Height/2 }
+
+// Send transmits size payload bytes from node a to node b. onSent, if
+// non-nil, fires when the source NIC finishes (the sender's buffer is
+// reusable); deliver, if non-nil, fires when the last byte arrives at b.
+// Both callbacks run in event context. Send may be called from proc or
+// event context and never blocks the caller.
+func (n *Network) Send(a, b, size int, onSent, deliver func(t sim.Time)) {
+	n.msgs++
+	n.bytes += int64(size)
+	wire := size + n.cfg.HeaderBytes
+	outStart, outEnd := n.nics[a].out.Reserve(wire)
+	if onSent != nil {
+		n.eng.At(outEnd, func() { onSent(outEnd) })
+	}
+	lat := sim.Time(n.cfg.RouterDelay) * sim.Time(n.Hops(a, b))
+	if n.cfg.JitterMax > 0 {
+		lat += sim.Time(n.rng.Int63n(int64(n.cfg.JitterMax)))
+	}
+	// Wormhole pipelining: the head flit reaches b's NIC lat after it
+	// left a's; the destination NIC then streams the body concurrently
+	// with the source NIC.
+	headArrive := outStart + lat
+	n.eng.At(headArrive, func() {
+		_, inEnd := n.nics[b].in.Reserve(wire)
+		if deliver != nil {
+			n.eng.At(inEnd, func() { deliver(inEnd) })
+		}
+	})
+}
+
+// Messages returns the number of messages sent.
+func (n *Network) Messages() int64 { return n.msgs }
+
+// Bytes returns total payload bytes carried.
+func (n *Network) Bytes() int64 { return n.bytes }
+
+// NICUtilization returns the mean utilization of all NIC pipes at time t
+// (diagnostic).
+func (n *Network) NICUtilization(t sim.Time) float64 {
+	if len(n.nics) == 0 || t == 0 {
+		return 0
+	}
+	var u float64
+	for i := range n.nics {
+		u += n.nics[i].in.Utilization(t) + n.nics[i].out.Utilization(t)
+	}
+	return u / float64(2*len(n.nics))
+}

@@ -1,0 +1,230 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel plays the role Proteus played in the paper: it advances a
+// virtual clock from event to event and runs simulated "processes"
+// (cooperatively scheduled goroutines) one at a time, so a run is a pure
+// function of its inputs and seeds. Entities that need to block — disk
+// servers, cache handler threads, compute-processor request pumps — are
+// Procs; cheap asynchronous activity (message delivery, DMA deposit) is
+// modeled with plain timed events.
+//
+// Time is absolute virtual time in nanoseconds (Time); durations use the
+// standard time.Duration. The engine is not safe for concurrent use from
+// multiple OS threads: all interaction happens either before Run, from
+// within event callbacks, or from within Procs.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an absolute virtual time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Seconds converts t to seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts t, interpreted as a span since time zero, to a
+// time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns t shifted by d. Negative results are clamped to t itself,
+// since the engine cannot schedule into the past.
+func (t Time) Add(d time.Duration) Time {
+	u := t + Time(d)
+	if u < t && d > 0 { // overflow; callers never get here in practice
+		panic("sim: time overflow")
+	}
+	return u
+}
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a single scheduled callback.
+type event struct {
+	t   Time
+	seq int64 // FIFO tie-break for events at the same instant
+	fn  func()
+}
+
+// eventQueue is a binary min-heap of events ordered by (t, seq).
+type eventQueue []event
+
+func (q eventQueue) less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*q).less(i, parent) {
+			break
+		}
+		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release closure for GC
+	*q = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h.less(r, l) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
+}
+
+// Engine is a discrete-event simulator instance.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     int64
+	yield   chan struct{} // proc -> engine control handoff
+	procs   map[*Proc]struct{}
+	running bool
+	closed  bool
+	events  int64 // total events fired, for diagnostics
+}
+
+// NewEngine returns a new engine with the clock at zero and no pending
+// events.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events fired so far (diagnostic).
+func (e *Engine) Events() int64 { return e.events }
+
+// Pending reports the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) is an error and panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if e.closed {
+		return
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (now=%v, t=%v)", e.now, t))
+	}
+	e.seq++
+	e.queue.push(event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Run executes events in timestamp order until no events remain. Procs
+// that are still blocked when the queue drains stay blocked (see
+// BlockedProcs and Close). Run may be called again after it returns if
+// new events have been scheduled.
+func (e *Engine) Run() {
+	e.runWhile(func() bool { return true })
+}
+
+// RunUntil executes events with timestamps <= t, then stops, leaving the
+// clock at min(t, time of last event). Events after t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	e.runWhile(func() bool { return e.queue[0].t <= t })
+	if e.now < t && len(e.queue) == 0 {
+		e.now = t
+	}
+}
+
+func (e *Engine) runWhile(cond func() bool) {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && cond() {
+		ev := e.queue.pop()
+		e.now = ev.t
+		e.events++
+		ev.fn()
+	}
+}
+
+// dispatch hands control to p and waits until p blocks or finishes.
+// It must only be called from engine context (inside an event callback).
+func (e *Engine) dispatch(p *Proc) {
+	if p.dead {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// wake schedules p to resume at the current instant, after any events
+// already queued for this instant (FIFO fairness).
+func (e *Engine) wake(p *Proc) {
+	e.At(e.now, func() { e.dispatch(p) })
+}
+
+// BlockedProcs returns the names and park-states of procs that are
+// currently blocked. After Run returns, a non-empty result usually
+// indicates a deadlock or a daemon process awaiting shutdown.
+func (e *Engine) BlockedProcs() []string {
+	var out []string
+	for p := range e.procs {
+		out = append(out, p.name+" ["+p.state+"]")
+	}
+	return out
+}
+
+// NumBlocked returns the number of currently blocked procs.
+func (e *Engine) NumBlocked() int { return len(e.procs) }
+
+// Close terminates all blocked procs and discards pending events. It is
+// safe to call multiple times. After Close the engine rejects new events.
+// Close must not be called from inside the simulation.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.queue = nil
+	for p := range e.procs {
+		delete(e.procs, p)
+		p.killed = true
+		close(p.resume)
+		<-p.exited
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue with blocking receive, the
+// basic transport endpoint for simulated nodes. Put never blocks (the
+// interconnect applies backpressure through its bandwidth pipes instead);
+// Get blocks the calling proc until a message is available.
+type Mailbox struct {
+	eng   *Engine
+	name  string
+	queue []any
+	waits []*Proc
+	puts  int64
+}
+
+// NewMailbox returns an empty mailbox.
+func NewMailbox(e *Engine, name string) *Mailbox {
+	return &Mailbox{eng: e, name: name}
+}
+
+// Put appends v and wakes the oldest waiting receiver, if any. It may be
+// called from proc or event context.
+func (m *Mailbox) Put(v any) {
+	m.queue = append(m.queue, v)
+	m.puts++
+	if len(m.waits) > 0 {
+		p := m.waits[0]
+		m.waits = m.waits[1:]
+		m.eng.wake(p)
+	}
+}
+
+// Get removes and returns the oldest message, blocking p until one is
+// available.
+func (m *Mailbox) Get(p *Proc) any {
+	for len(m.queue) == 0 {
+		m.waits = append(m.waits, p)
+		p.park("mailbox " + m.name)
+	}
+	v := m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	return v
+}
+
+// TryGet removes and returns the oldest message without blocking; ok
+// reports whether a message was available.
+func (m *Mailbox) TryGet() (v any, ok bool) {
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	v = m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	return v, true
+}
+
+// Len returns the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.queue) }
+
+// Delivered returns the total number of messages ever Put (diagnostic).
+func (m *Mailbox) Delivered() int64 { return m.puts }

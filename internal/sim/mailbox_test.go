@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox(e, "m")
+	mb.Put(1)
+	mb.Put(2)
+	mb.Put(3)
+	var got []int
+	e.Go("r", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Get(p).(int))
+		}
+	})
+	e.Run()
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order %v", got)
+	}
+}
+
+func TestMailboxGetBlocksUntilPut(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox(e, "m")
+	var at Time
+	e.Go("r", func(p *Proc) {
+		v := mb.Get(p).(string)
+		at = p.Now()
+		if v != "hello" {
+			t.Errorf("got %q", v)
+		}
+	})
+	e.After(5*time.Millisecond, func() { mb.Put("hello") })
+	e.Run()
+	if at != Time(5*time.Millisecond) {
+		t.Fatalf("received at %v, want 5ms", at)
+	}
+}
+
+func TestMailboxMultipleWaitersFIFO(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox(e, "m")
+	var got []string
+	for _, n := range []string{"a", "b"} {
+		n := n
+		e.Go(n, func(p *Proc) {
+			v := mb.Get(p).(int)
+			got = append(got, n)
+			_ = v
+		})
+	}
+	e.After(time.Millisecond, func() { mb.Put(1); mb.Put(2) })
+	e.Run()
+	if len(got) != 2 || got[0] != "a" {
+		t.Fatalf("waiter order %v, want a first", got)
+	}
+}
+
+func TestMailboxTryGet(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox(e, "m")
+	if _, ok := mb.TryGet(); ok {
+		t.Fatal("TryGet on empty mailbox succeeded")
+	}
+	mb.Put(9)
+	v, ok := mb.TryGet()
+	if !ok || v.(int) != 9 {
+		t.Fatalf("TryGet = %v,%v", v, ok)
+	}
+	if mb.Len() != 0 {
+		t.Fatalf("Len %d after drain", mb.Len())
+	}
+	if mb.Delivered() != 1 {
+		t.Fatalf("Delivered %d", mb.Delivered())
+	}
+}

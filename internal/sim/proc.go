@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// A Proc is a simulated process: a goroutine scheduled cooperatively by
+// the engine so that exactly one proc (or event callback) runs at a time.
+// Procs block by parking themselves on synchronization objects or by
+// sleeping; control returns to the engine, which advances virtual time.
+type Proc struct {
+	eng    *Engine
+	name   string
+	state  string // human-readable park reason, for deadlock diagnosis
+	resume chan struct{}
+	exited chan struct{}
+	killed bool
+	dead   bool
+}
+
+// procKilled is panicked inside a proc goroutine when the engine shuts
+// down; the spawn wrapper recovers it so the goroutine exits cleanly.
+type procKilled struct{}
+
+// Go spawns a new simulated process that starts at the current virtual
+// time. The name appears in deadlock diagnostics. fn runs to completion
+// unless the engine is closed first.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	e.At(e.now, func() {
+		go p.top(fn)
+		e.procs[p] = struct{}{}
+		e.dispatch(p)
+	})
+	return p
+}
+
+// top is the outermost frame of a proc goroutine.
+func (p *Proc) top(fn func(p *Proc)) {
+	defer func() {
+		p.dead = true
+		close(p.exited)
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); ok {
+				return // engine shutdown; exit silently
+			}
+			panic(r)
+		}
+		// Normal completion: return control to the engine.
+		delete(p.eng.procs, p)
+		p.eng.yield <- struct{}{}
+	}()
+	<-p.resume // wait for first dispatch
+	fn(p)
+}
+
+// park blocks the calling proc until another party wakes it via
+// Engine.wake. state describes what the proc is waiting for.
+func (p *Proc) park(state string) {
+	p.state = state
+	p.eng.yield <- struct{}{}
+	_, ok := <-p.resume
+	if !ok || p.killed {
+		panic(procKilled{})
+	}
+	p.state = ""
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the proc for d of virtual time. Negative or zero d
+// yields the processor for the current instant (other events at the same
+// time run first).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.SleepUntil(p.eng.now.Add(d))
+}
+
+// SleepUntil suspends the proc until absolute time t (or the current
+// instant if t is in the past).
+func (p *Proc) SleepUntil(t Time) {
+	e := p.eng
+	if t < e.now {
+		t = e.now
+	}
+	e.At(t, func() { e.dispatch(p) })
+	p.park(fmt.Sprintf("sleep until %v", t))
+}
+
+// Yield reschedules the proc at the current instant behind already-queued
+// events, giving other ready work a chance to run first.
+func (p *Proc) Yield() { p.SleepUntil(p.eng.now) }

@@ -1,0 +1,187 @@
+package sim
+
+// Synchronization primitives for simulated processes. All of them follow
+// the same discipline: blocking operations take the calling *Proc;
+// non-blocking operations (signals, releases) may be called from proc or
+// event context and hand wake-ups to the engine as zero-delay events, so
+// execution order stays deterministic.
+
+// Semaphore is a counting semaphore with FIFO waiters.
+type Semaphore struct {
+	eng   *Engine
+	name  string
+	avail int
+	waits []*semWaiter
+}
+
+type semWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(e *Engine, name string, n int) *Semaphore {
+	return &Semaphore{eng: e, name: name, avail: n}
+}
+
+// Available returns the current number of permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Acquire blocks p until n permits are available, then takes them.
+// Waiters are served strictly in arrival order: a large request at the
+// head of the queue blocks later small ones (no barging), which keeps
+// buffer-pool style usage fair.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	if len(s.waits) == 0 && s.avail >= n {
+		s.avail -= n
+		return
+	}
+	s.waits = append(s.waits, &semWaiter{p: p, n: n})
+	p.park("sem " + s.name)
+}
+
+// TryAcquire takes n permits if immediately available and no earlier
+// waiter is queued; it reports whether it succeeded.
+func (s *Semaphore) TryAcquire(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	if len(s.waits) == 0 && s.avail >= n {
+		s.avail -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and wakes as many queued waiters as can now
+// be satisfied, in FIFO order.
+func (s *Semaphore) Release(n int) {
+	s.avail += n
+	for len(s.waits) > 0 && s.avail >= s.waits[0].n {
+		w := s.waits[0]
+		s.waits = s.waits[1:]
+		s.avail -= w.n
+		s.eng.wake(w.p)
+	}
+}
+
+// Barrier is a reusable N-party barrier, used by compute processors
+// around collective operations.
+type Barrier struct {
+	eng     *Engine
+	name    string
+	parties int
+	arrived int
+	waits   []*Proc
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(e *Engine, name string, parties int) *Barrier {
+	if parties < 1 {
+		panic("sim: barrier needs at least one party")
+	}
+	return &Barrier{eng: e, name: name, parties: parties}
+}
+
+// Wait blocks p until all parties have arrived; the last arrival releases
+// everyone and resets the barrier for reuse.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		for _, w := range b.waits {
+			b.eng.wake(w)
+		}
+		b.waits = b.waits[:0]
+		return
+	}
+	b.waits = append(b.waits, p)
+	p.park("barrier " + b.name)
+}
+
+// WaitGroup counts outstanding work items; procs can wait for the count
+// to reach zero. Unlike sync.WaitGroup it is usable from event context
+// for Add/Done.
+type WaitGroup struct {
+	eng   *Engine
+	name  string
+	count int
+	waits []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup with an initial count.
+func NewWaitGroup(e *Engine, name string, count int) *WaitGroup {
+	return &WaitGroup{eng: e, name: name, count: count}
+}
+
+// Add adds delta (which may be negative) to the counter. If the counter
+// reaches zero all waiters are released. A negative counter panics.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter " + w.name)
+	}
+	if w.count == 0 {
+		for _, p := range w.waits {
+			w.eng.wake(p)
+		}
+		w.waits = w.waits[:0]
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Count returns the current counter value.
+func (w *WaitGroup) Count() int { return w.count }
+
+// Wait blocks p until the counter is zero. A zero counter returns
+// immediately.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	w.waits = append(w.waits, p)
+	p.park("waitgroup " + w.name)
+}
+
+// Cond is a condition variable: procs wait for a predicate guarded by the
+// single-threaded engine, and any context may signal.
+type Cond struct {
+	eng   *Engine
+	name  string
+	waits []*Proc
+}
+
+// NewCond returns a new condition variable.
+func NewCond(e *Engine, name string) *Cond {
+	return &Cond{eng: e, name: name}
+}
+
+// Wait blocks p until Signal or Broadcast wakes it. As with all condition
+// variables, callers must re-check their predicate after waking.
+func (c *Cond) Wait(p *Proc) {
+	c.waits = append(c.waits, p)
+	p.park("cond " + c.name)
+}
+
+// Signal wakes one waiter (FIFO), if any.
+func (c *Cond) Signal() {
+	if len(c.waits) == 0 {
+		return
+	}
+	p := c.waits[0]
+	c.waits = c.waits[1:]
+	c.eng.wake(p)
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waits {
+		c.eng.wake(p)
+	}
+	c.waits = c.waits[:0]
+}

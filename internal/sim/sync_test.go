@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSemaphoreBasicAcquireRelease(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, "s", 2)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			sem.Acquire(p, 1)
+			order = append(order, i)
+			p.Sleep(time.Millisecond)
+			sem.Release(1)
+		})
+	}
+	e.Run()
+	if len(order) != 4 {
+		t.Fatalf("only %d acquisitions", len(order))
+	}
+	if e.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("4 holders of 2 permits for 1ms each took %v, want 2ms", e.Now())
+	}
+}
+
+func TestSemaphoreFIFONoBarging(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, "s", 2)
+	var got []string
+	e.Go("setup", func(p *Proc) {
+		sem.Acquire(p, 2)
+		// big waits first; small arrives later but must not barge.
+		e.Go("big", func(b *Proc) { sem.Acquire(b, 2); got = append(got, "big") })
+		e.Go("small", func(s *Proc) { sem.Acquire(s, 1); got = append(got, "small") })
+		p.Sleep(time.Millisecond)
+		sem.Release(2)
+	})
+	e.Run()
+	defer e.Close()
+	if len(got) == 0 || got[0] != "big" {
+		t.Fatalf("service order %v, want big first", got)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, "s", 1)
+	if !sem.TryAcquire(1) {
+		t.Fatal("TryAcquire failed with permit available")
+	}
+	if sem.TryAcquire(1) {
+		t.Fatal("TryAcquire succeeded with no permits")
+	}
+	sem.Release(1)
+	if sem.Available() != 1 {
+		t.Fatalf("Available = %d", sem.Available())
+	}
+	if !sem.TryAcquire(0) {
+		t.Fatal("zero TryAcquire should always succeed")
+	}
+}
+
+func TestBarrierReleasesAllAndReuses(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, "b", 3)
+	var phase1, phase2 int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			b.Wait(p)
+			phase1++
+			p.Sleep(time.Millisecond)
+			b.Wait(p)
+			phase2++
+		})
+	}
+	e.Run()
+	if phase1 != 3 || phase2 != 3 {
+		t.Fatalf("phases %d/%d, want 3/3", phase1, phase2)
+	}
+	if e.NumBlocked() != 0 {
+		t.Fatal("procs stuck at barrier")
+	}
+}
+
+func TestBarrierSinglePartyPassesThrough(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, "b", 1)
+	passed := false
+	e.Go("p", func(p *Proc) { b.Wait(p); passed = true })
+	e.Run()
+	if !passed {
+		t.Fatal("single-party barrier blocked")
+	}
+}
+
+func TestBarrierZeroPartiesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewBarrier(NewEngine(), "b", 0)
+}
+
+func TestWaitGroupWaitsForZero(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e, "wg", 0)
+	var doneAt Time
+	wg.Add(3)
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			wg.Done()
+		})
+	}
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	e.Run()
+	if doneAt != Time(3*time.Millisecond) {
+		t.Fatalf("waiter released at %v, want 3ms", doneAt)
+	}
+}
+
+func TestWaitGroupZeroCountReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e, "wg", 0)
+	ok := false
+	e.Go("p", func(p *Proc) { wg.Wait(p); ok = true })
+	e.Run()
+	if !ok {
+		t.Fatal("Wait on zero counter blocked")
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e, "wg", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative counter")
+		}
+	}()
+	wg.Done()
+}
+
+func TestCondSignalWakesOneFIFO(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e, "c")
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			c.Wait(p)
+			got = append(got, i)
+		})
+	}
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		c.Signal()
+		p.Sleep(time.Millisecond)
+		c.Broadcast()
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 0 {
+		t.Fatalf("wake order %v", got)
+	}
+}
+
+func TestCondSignalWithoutWaitersIsNoop(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e, "c")
+	c.Signal()
+	c.Broadcast()
+	e.Run() // nothing scheduled, nothing panics
+}

@@ -1,0 +1,67 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: replicated trials are reported as means with their
+// coefficient of variation, as in the paper ("Each test case was
+// replicated in five independent trials ... maximum coefficient of
+// variation is 0.14").
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 when len < 2).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// CV returns the coefficient of variation (stddev/mean), 0 when the mean
+// is 0.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return Stddev(xs) / m
+}
+
+// Summary holds descriptive statistics of one sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Stddev   float64
+	CV       float64
+	Min, Max float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), Stddev: Stddev(xs), CV: CV(xs)}
+	for i, x := range xs {
+		if i == 0 || x < s.Min {
+			s.Min = x
+		}
+		if i == 0 || x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Fatal("mean")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("single-sample stddev")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("stddev %v", got)
+	}
+}
+
+func TestCV(t *testing.T) {
+	if CV([]float64{0, 0}) != 0 {
+		t.Fatal("zero-mean cv")
+	}
+	xs := []float64{10, 10, 10}
+	if CV(xs) != 0 {
+		t.Fatal("constant sample cv")
+	}
+	if got := CV([]float64{8, 12}); math.Abs(got-0.2828) > 0.001 {
+		t.Fatalf("cv %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+// Property: mean lies within [min, max] and stddev is non-negative.
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package tcfs
+
+import (
+	"ddio/internal/sim"
+)
+
+// bufState tracks the lifecycle of one cache buffer.
+type bufState int
+
+const (
+	bufFree bufState = iota
+	bufReading
+	bufValid
+)
+
+// buffer is one block-sized cache frame.
+type buffer struct {
+	block    int // file block held, -1 when free
+	data     []byte
+	written  []bool // per-byte dirty bitmap (write-behind)
+	dirty    int    // count of dirty bytes
+	state    bufState
+	flushing bool
+	pins     int
+	lastUse  sim.Time
+}
+
+func (b *buffer) reset(blockSize int) {
+	b.block = -1
+	b.data = make([]byte, blockSize)
+	b.written = nil
+	b.dirty = 0
+	b.state = bufFree
+	b.flushing = false
+	b.pins = 0
+}
+
+// blockCache is an IOP's block cache: a fixed pool of buffers indexed by
+// file block, LRU-replaced, shared by all concurrently running handler
+// threads of that IOP. Blocking (waiting for a fill, a flush, or a free
+// frame) parks the handler on the cache's condition variables.
+type blockCache struct {
+	s         *Server
+	blockSize int
+	bufs      []*buffer
+	index     map[int]*buffer
+	avail     *sim.Cond // a frame may have become reclaimable
+	changed   *sim.Cond // some buffer changed state (fill/flush done)
+}
+
+func newBlockCache(s *Server, frames, blockSize int) *blockCache {
+	c := &blockCache{
+		s:         s,
+		blockSize: blockSize,
+		index:     make(map[int]*buffer),
+		avail:     sim.NewCond(s.m.Eng, "tc-cache-avail:"+s.node.String()),
+		changed:   sim.NewCond(s.m.Eng, "tc-cache-state:"+s.node.String()),
+	}
+	if frames < 2 {
+		frames = 2
+	}
+	c.bufs = make([]*buffer, frames)
+	for i := range c.bufs {
+		c.bufs[i] = &buffer{}
+		c.bufs[i].reset(blockSize)
+	}
+	return c
+}
+
+// lookup returns the buffer holding block, or nil.
+func (c *blockCache) lookup(block int) *buffer { return c.index[block] }
+
+// getRead returns a pinned, valid buffer holding block, reading it from
+// disk on a miss. The caller must unpin.
+func (c *blockCache) getRead(p *sim.Proc, block int) *buffer {
+	for {
+		if b := c.index[block]; b != nil {
+			b.pins++
+			for b.state == bufReading {
+				c.changed.Wait(p)
+			}
+			if b.block == block && b.state == bufValid {
+				b.lastUse = p.Now()
+				c.s.m2.CacheHits++
+				return b
+			}
+			// The frame was stolen while we waited; retry.
+			b.pins--
+			continue
+		}
+		b := c.acquire(p)
+		if c.index[block] != nil {
+			// Someone else started the same fill while we acquired.
+			c.release(b)
+			continue
+		}
+		b.block = block
+		b.state = bufReading
+		b.pins++
+		c.index[block] = b
+		c.s.m2.CacheMiss++
+		data := c.s.diskReadBlock(p, block)
+		copy(b.data, data)
+		b.state = bufValid
+		b.lastUse = p.Now()
+		c.changed.Broadcast()
+		return b
+	}
+}
+
+// getWrite returns a pinned buffer for writing into block. On a miss no
+// disk read happens: a fresh frame with a dirty bitmap is installed
+// (write-behind merges with disk content at flush time if the block is
+// never fully overwritten).
+func (c *blockCache) getWrite(p *sim.Proc, block int) *buffer {
+	for {
+		if b := c.index[block]; b != nil {
+			b.pins++
+			for b.state == bufReading || b.flushing {
+				c.changed.Wait(p)
+			}
+			if b.block == block && b.state == bufValid {
+				b.lastUse = p.Now()
+				c.s.m2.CacheHits++
+				if b.written == nil {
+					b.written = make([]bool, c.blockSize)
+				}
+				return b
+			}
+			b.pins--
+			continue
+		}
+		b := c.acquire(p)
+		if c.index[block] != nil {
+			c.release(b)
+			continue
+		}
+		b.block = block
+		b.state = bufValid
+		b.written = make([]bool, c.blockSize)
+		b.pins++
+		b.lastUse = p.Now()
+		c.index[block] = b
+		c.s.m2.CacheMiss++
+		return b
+	}
+}
+
+// unpin releases a pinned buffer.
+func (c *blockCache) unpin(b *buffer) {
+	b.pins--
+	if b.pins == 0 {
+		c.avail.Signal()
+	}
+}
+
+// release returns an unused acquired frame to the free pool.
+func (c *blockCache) release(b *buffer) {
+	b.reset(c.blockSize)
+	c.avail.Signal()
+}
+
+// acquire obtains a free frame, evicting the least-recently-used
+// unpinned buffer (flushing it first if dirty). It blocks when every
+// frame is pinned or in flight.
+func (c *blockCache) acquire(p *sim.Proc) *buffer {
+	for {
+		var victim *buffer
+		for _, b := range c.bufs {
+			if b.state == bufFree {
+				victim = b
+				break
+			}
+		}
+		if victim == nil {
+			for _, b := range c.bufs {
+				if b.state == bufValid && b.pins == 0 && !b.flushing &&
+					(victim == nil || b.lastUse < victim.lastUse) {
+					victim = b
+				}
+			}
+		}
+		if victim == nil {
+			c.avail.Wait(p)
+			continue
+		}
+		if victim.state == bufValid {
+			if victim.dirty > 0 {
+				c.flush(p, victim)
+				continue // state changed while flushing; re-scan
+			}
+			delete(c.index, victim.block)
+			victim.reset(c.blockSize)
+		}
+		victim.state = bufReading // reserve the frame for the caller
+		return victim
+	}
+}
+
+// flush writes a dirty buffer to disk, merging with existing disk
+// content first when the block was only partially overwritten.
+func (c *blockCache) flush(p *sim.Proc, b *buffer) {
+	b.flushing = true
+	c.s.m2.Flushes++
+	data := make([]byte, c.blockSize)
+	copy(data, b.data)
+	if b.dirty < c.blockSize {
+		c.s.m2.PartialRMW++
+		diskData := c.s.diskReadBlock(p, b.block)
+		for i, w := range b.written {
+			if !w {
+				data[i] = diskData[i]
+			}
+		}
+	}
+	dirtyAtSubmit := b.dirty
+	c.s.diskWriteBlock(p, b.block, data)
+	// Bytes written while the flush was in flight stay dirty.
+	if dirtyAtSubmit == b.dirty {
+		b.dirty = 0
+		for i := range b.written {
+			b.written[i] = false
+		}
+	}
+	b.flushing = false
+	c.changed.Broadcast()
+	c.avail.Signal()
+}
+
+// flushAll writes out every dirty buffer (used by Sync).
+func (c *blockCache) flushAll(p *sim.Proc) {
+	for {
+		var b *buffer
+		for _, cand := range c.bufs {
+			if cand.state == bufValid && cand.dirty > 0 && !cand.flushing {
+				b = cand
+				break
+			}
+		}
+		if b == nil {
+			// Wait out any flushes in flight started by other handlers.
+			busy := false
+			for _, cand := range c.bufs {
+				if cand.flushing || cand.state == bufReading {
+					busy = true
+					break
+				}
+			}
+			if !busy {
+				return
+			}
+			c.changed.Wait(p)
+			continue
+		}
+		c.flush(p, b)
+	}
+}
+
+// contains reports whether block is cached or being read (prefetch
+// planning).
+func (c *blockCache) contains(block int) bool { return c.index[block] != nil }

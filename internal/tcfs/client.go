@@ -1,0 +1,159 @@
+package tcfs
+
+import (
+	"ddio/internal/cluster"
+	"ddio/internal/hpf"
+	"ddio/internal/pfs"
+	"ddio/internal/sim"
+)
+
+// Client drives the CP side of a whole-file transfer under traditional
+// caching: each CP walks its chunk list, splits chunks at block
+// boundaries, and keeps at most one request outstanding per disk (one
+// pump process per disk), as in the paper's §4.
+type Client struct {
+	m       *cluster.Machine
+	f       *pfs.File
+	dec     *hpf.Decomp
+	prm     Params
+	servers []*Server // indexed by IOP
+
+	barrier *sim.Barrier
+	end     sim.Time
+	memBase []int64 // optional per-CP offset added to all memory addresses
+}
+
+// SetMemBase offsets every CP's memory addresses by base[cp]; two-phase
+// I/O uses this to direct the conforming-distribution phase into a
+// staging area above the application buffer.
+func (c *Client) SetMemBase(base []int64) { c.memBase = base }
+
+// memBaseOf returns the memory base for cp.
+func (c *Client) memBaseOf(cp int) int64 {
+	if c.memBase == nil {
+		return 0
+	}
+	return c.memBase[cp]
+}
+
+// NewClient builds the client side for a transfer by all of the
+// machine's CPs.
+func NewClient(m *cluster.Machine, f *pfs.File, dec *hpf.Decomp, servers []*Server, prm Params) *Client {
+	return &Client{
+		m:       m,
+		f:       f,
+		dec:     dec,
+		prm:     prm,
+		servers: servers,
+		barrier: sim.NewBarrier(m.Eng, "tc-transfer", len(m.CPs)),
+	}
+}
+
+// EndTime returns the time the coordinator observed transfer completion
+// (all replies received and all IOPs synced), valid after the run.
+func (c *Client) EndTime() sim.Time { return c.end }
+
+// cpReq is one block-piece request to be issued.
+type cpReq struct {
+	block  int
+	disk   int
+	off, n int
+	memOff int64
+}
+
+// pieces splits one chunk into per-block requests (in file order): a
+// traditional file system must address each block's disk separately.
+func (c *Client) pieces(ch hpf.Chunk, base int64, out []cpReq) []cpReq {
+	bs := int64(c.f.BlockSize)
+	for off := ch.FileOff; off < ch.FileOff+ch.Len; {
+		b := int(off / bs)
+		pieceEnd := (int64(b) + 1) * bs
+		if end := ch.FileOff + ch.Len; pieceEnd > end {
+			pieceEnd = end
+		}
+		out = append(out, cpReq{
+			block:  b,
+			disk:   c.f.DiskOf(b),
+			off:    int(off - int64(b)*bs),
+			n:      int(pieceEnd - off),
+			memOff: base + ch.MemOff + (off - ch.FileOff),
+		})
+		off = pieceEnd
+	}
+	return out
+}
+
+// issue sends one ReadCP/WriteCP call's pieces, honoring Figure 1a's
+// flow control — "if our previous request to that disk is still
+// outstanding, wait for response" — then waits for all of them.
+func (c *Client) issue(p *sim.Proc, cpNode *cluster.Node, pieces []cpReq, write bool,
+	outstanding []*sim.WaitGroup) {
+	for _, rq := range pieces {
+		if prev := outstanding[rq.disk]; prev != nil {
+			prev.Wait(p)
+		}
+		done := sim.NewWaitGroup(c.m.Eng, "tc-req", 1)
+		outstanding[rq.disk] = done
+		msg := &request{
+			write:  write,
+			block:  rq.block,
+			off:    rq.off,
+			n:      rq.n,
+			memOff: rq.memOff,
+			src:    cpNode,
+			done:   done,
+		}
+		payload := 0
+		if write {
+			msg.data = make([]byte, rq.n)
+			copy(msg.data, cpNode.Mem[msg.memOff:msg.memOff+int64(rq.n)])
+			payload = rq.n
+		}
+		c.m.Send(cpNode, c.servers[rq.disk%len(c.servers)].node, payload, c.prm.RequestSendCPU, msg)
+	}
+	for _, wg := range outstanding {
+		if wg != nil {
+			wg.Wait(p)
+		}
+	}
+	for i := range outstanding {
+		outstanding[i] = nil
+	}
+}
+
+// TransferCP runs cp's side of the transfer: one file-system call per
+// contiguous chunk (or a single strided call when the extension is
+// enabled), then — on CP 0 — a sync of every IOP so that outstanding
+// write-behind and prefetch requests are included in the measured time,
+// as the paper requires.
+func (c *Client) TransferCP(p *sim.Proc, cp int, write bool) {
+	c.barrier.Wait(p)
+	cpNode := c.m.CPs[cp]
+	base := c.memBaseOf(cp)
+	outstanding := make([]*sim.WaitGroup, len(c.f.Disks))
+	if c.prm.StridedRequests {
+		// Extension: the whole access list goes down in one call, so
+		// requests to different disks pipeline across chunks.
+		var all []cpReq
+		for _, ch := range c.dec.Chunks(cp) {
+			all = c.pieces(ch, base, all)
+		}
+		c.issue(p, cpNode, all, write, outstanding)
+	} else {
+		var buf []cpReq
+		for _, ch := range c.dec.Chunks(cp) {
+			buf = c.pieces(ch, base, buf[:0])
+			c.issue(p, cpNode, buf, write, outstanding)
+		}
+	}
+	c.barrier.Wait(p)
+	if cp == 0 {
+		sdone := sim.NewWaitGroup(c.m.Eng, "tc-sync", len(c.servers))
+		for _, s := range c.servers {
+			c.m.Send(cpNode, s.node, 0, c.prm.RequestSendCPU, &syncReq{src: cpNode, done: sdone})
+		}
+		sdone.Wait(p)
+		c.end = p.Now()
+	}
+	c.barrier.Wait(p)
+}

@@ -1,0 +1,207 @@
+package tcfs
+
+import (
+	"fmt"
+	"time"
+
+	"ddio/internal/cluster"
+	"ddio/internal/pfs"
+	"ddio/internal/sim"
+)
+
+// request is one CP→IOP file-system call for a piece of a single block.
+type request struct {
+	write  bool
+	block  int
+	off    int // offset within the block
+	n      int
+	memOff int64  // CP memory offset (read deposit target)
+	data   []byte // write payload
+	src    *cluster.Node
+	done   *sim.WaitGroup // signaled at the CP when the reply lands
+}
+
+// syncReq asks an IOP to flush write-behind data, wait out prefetches,
+// and drain its disks.
+type syncReq struct {
+	src  *cluster.Node
+	done *sim.WaitGroup
+}
+
+// Server is the traditional-caching IOP: a dispatcher that spawns one
+// handler thread per incoming request over a shared block cache.
+type Server struct {
+	m     *cluster.Machine
+	node  *cluster.Node
+	f     *pfs.File
+	prm   Params
+	cache *blockCache
+	m2    Metrics
+
+	outstanding *sim.WaitGroup // in-flight handler threads
+}
+
+// NewServer builds the caching server for one IOP and starts its
+// dispatcher. nCP sizes the cache: BuffersPerDiskPerCP frames per local
+// disk per CP.
+func NewServer(m *cluster.Machine, node *cluster.Node, f *pfs.File, nCP int, prm Params) *Server {
+	s := &Server{m: m, node: node, f: f, prm: prm}
+	frames := prm.BuffersPerDiskPerCP * nCP * s.localDiskCount()
+	s.cache = newBlockCache(s, frames, f.BlockSize)
+	s.outstanding = sim.NewWaitGroup(m.Eng, "tc-outstanding:"+node.String(), 0)
+	m.Eng.Go("tc-dispatch:"+node.String(), s.dispatch)
+	return s
+}
+
+// Metrics returns a copy of the server's counters.
+func (s *Server) Metrics() Metrics { return s.m2 }
+
+// CacheFrames returns the cache capacity in buffers (diagnostic).
+func (s *Server) CacheFrames() int { return len(s.cache.bufs) }
+
+// localDiskCount returns how many of the file's disks this IOP serves.
+func (s *Server) localDiskCount() int {
+	n := 0
+	for d := range s.f.Disks {
+		if s.ownsDisk(d) {
+			n++
+		}
+	}
+	return n
+}
+
+// ownsDisk reports whether this IOP serves disk index d. Disks are
+// assigned to IOPs round-robin by the machine builder; the convention is
+// shared with the disk-directed file system.
+func (s *Server) ownsDisk(d int) bool {
+	return d%len(s.m.IOPs) == s.node.Index
+}
+
+func (s *Server) dispatch(p *sim.Proc) {
+	for {
+		msg := s.node.Mail.Get(p)
+		s.node.CPU.UseFor(p, s.prm.DispatchCPU)
+		switch r := msg.(type) {
+		case *request:
+			s.node.CPU.UseFor(p, s.prm.ThreadCreate)
+			s.outstanding.Add(1)
+			s.m.Eng.Go(fmt.Sprintf("tc-handler:%s:b%d", s.node, r.block), func(h *sim.Proc) {
+				s.handle(h, r)
+				s.outstanding.Done()
+			})
+		case *syncReq:
+			s.m.Eng.Go("tc-sync:"+s.node.String(), func(h *sim.Proc) { s.handleSync(h, r) })
+		default:
+			panic(fmt.Sprintf("tcfs: unexpected message %T", msg))
+		}
+	}
+}
+
+func (s *Server) handle(h *sim.Proc, r *request) {
+	s.m2.Requests++
+	s.node.CPU.UseFor(h, s.prm.CacheAccessCPU)
+	if r.write {
+		s.handleWrite(h, r)
+	} else {
+		s.handleRead(h, r)
+	}
+}
+
+func (s *Server) handleRead(h *sim.Proc, r *request) {
+	s.m2.Reads++
+	b := s.cache.getRead(h, r.block)
+	payload := make([]byte, r.n)
+	copy(payload, b.data[r.off:r.off+r.n])
+	s.cache.unpin(b)
+	// Reply with the data; it is DMA-deposited straight into the user
+	// buffer at the CP, which then pays a small wakeup cost.
+	dst := r.src
+	memOff := r.memOff
+	done := r.done
+	s.node.CPU.UseFor(h, s.prm.ReplySendCPU)
+	s.m.SendFn(s.node, dst, len(payload), 0, func(sim.Time) {
+		copy(dst.Mem[memOff:], payload)
+		_, end := dst.CPU.ReserveFor(s.prm.ReplyRecvCPU)
+		s.m.Eng.At(end, done.Done)
+	})
+	s.maybePrefetch(h, r.block)
+}
+
+func (s *Server) handleWrite(h *sim.Proc, r *request) {
+	s.m2.Writes++
+	b := s.cache.getWrite(h, r.block)
+	// The only memory-memory copy in the system (paper §4): from the
+	// handler's message buffer into the cache frame.
+	s.node.CPU.UseFor(h, s.prm.CopyPerByte*time.Duration(r.n))
+	copy(b.data[r.off:r.off+r.n], r.data)
+	for i := r.off; i < r.off+r.n; i++ {
+		if !b.written[i] {
+			b.written[i] = true
+			b.dirty++
+		}
+	}
+	full := b.dirty == s.f.BlockSize
+	// Ack before the write-behind happens: the data is safely cached.
+	dst, done := r.src, r.done
+	s.node.CPU.UseFor(h, s.prm.ReplySendCPU)
+	s.m.SendFn(s.node, dst, 0, 0, func(sim.Time) {
+		_, end := dst.CPU.ReserveFor(s.prm.ReplyRecvCPU)
+		s.m.Eng.At(end, done.Done)
+	})
+	if full && !b.flushing {
+		s.cache.flush(h, b)
+	}
+	s.cache.unpin(b)
+}
+
+// maybePrefetch starts an asynchronous read of the next block(s) on the
+// same disk, if cache frames are idle — the paper's one-block-ahead
+// prefetch whose occasional mistake (one extra block at the end of rb)
+// it also reproduces.
+func (s *Server) maybePrefetch(h *sim.Proc, afterBlock int) {
+	for k := 1; k <= s.prm.PrefetchBlocks; k++ {
+		nb := afterBlock + k*len(s.f.Disks) // next file block on this disk
+		if nb >= s.f.NumBlocks || s.cache.contains(nb) {
+			continue
+		}
+		s.m2.Prefetches++
+		s.node.CPU.UseFor(h, s.prm.CacheAccessCPU)
+		block := nb
+		s.outstanding.Add(1)
+		s.m.Eng.Go(fmt.Sprintf("tc-prefetch:%s:b%d", s.node, block), func(pf *sim.Proc) {
+			b := s.cache.getRead(pf, block)
+			s.cache.unpin(b)
+			s.outstanding.Done()
+		})
+	}
+}
+
+func (s *Server) handleSync(h *sim.Proc, r *syncReq) {
+	// Wait for all in-flight handler threads (including prefetches) to
+	// finish, flush dirty buffers, then drain the disks' own queues and
+	// write-behind buffers.
+	s.outstanding.Wait(h)
+	s.cache.flushAll(h)
+	for d, dd := range s.f.Disks {
+		if s.ownsDisk(d) {
+			dd.Flush(h)
+		}
+	}
+	dst, done := r.src, r.done
+	s.m.SendFn(s.node, dst, 0, s.prm.ReplySendCPU, func(sim.Time) {
+		done.Done()
+	})
+}
+
+// diskReadBlock performs a synchronous block read on behalf of a handler.
+func (s *Server) diskReadBlock(p *sim.Proc, block int) []byte {
+	d := s.f.Disks[s.f.DiskOf(block)]
+	return d.ReadSync(p, s.f.LBN(block), s.f.SectorsPerBlock())
+}
+
+// diskWriteBlock performs a synchronous block write on behalf of a
+// handler (the drive's write-behind makes it fast for sequential runs).
+func (s *Server) diskWriteBlock(p *sim.Proc, block int, data []byte) {
+	d := s.f.Disks[s.f.DiskOf(block)]
+	d.WriteSync(p, s.f.LBN(block), data)
+}

@@ -1,0 +1,177 @@
+// Package twophase implements two-phase I/O (del Rosario, Bordawekar,
+// and Choudhary), the contemporaneous alternative the paper compares
+// against analytically in §7.1 but did not simulate. I/O is performed in
+// a "conforming distribution" — a 1-D BLOCK decomposition matching the
+// file's row-major layout — through the unmodified traditional-caching
+// IOP software, and a separate in-memory permutation phase moves data
+// between the conforming staging buffers and the application's true
+// distribution. Disk-directed I/O subsumes both phases; implementing
+// two-phase I/O lets the repository check the paper's §7.1 reasoning
+// (extra network traversal, unoverlapped permutation) experimentally.
+package twophase
+
+import (
+	"fmt"
+	"time"
+
+	"ddio/internal/cluster"
+	"ddio/internal/hpf"
+	"ddio/internal/pfs"
+	"ddio/internal/sim"
+	"ddio/internal/tcfs"
+)
+
+// Params are the permutation-phase software costs.
+type Params struct {
+	// PermuteMsgCPU is the per-message cost of building/sending one
+	// permutation message (batched per destination CP).
+	PermuteMsgCPU time.Duration
+	// SegmentCPU is the additional cost per gather segment in a
+	// permutation message.
+	SegmentCPU time.Duration
+	// CopyPerByte is the local memory-copy cost for data already owned.
+	CopyPerByte time.Duration
+}
+
+// DefaultParams returns calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		PermuteMsgCPU: 10 * time.Microsecond,
+		SegmentCPU:    500 * time.Nanosecond,
+		CopyPerByte:   25 * time.Nanosecond,
+	}
+}
+
+// Client orchestrates a two-phase collective transfer for all CPs.
+type Client struct {
+	m       *cluster.Machine
+	f       *pfs.File
+	target  *hpf.Decomp // the application's true distribution
+	conf    *hpf.Decomp // the conforming (1-D BLOCK) distribution
+	prm     Params
+	tc      *tcfs.Client
+	barrier *sim.Barrier
+	perm    *sim.WaitGroup // permutation messages in flight
+	end     sim.Time
+}
+
+// NewClient builds the two-phase client. servers are the traditional
+// caching IOPs that perform the conforming I/O phase. The staging area
+// for cp lives at stagingBase[cp] in its memory.
+func NewClient(m *cluster.Machine, f *pfs.File, target *hpf.Decomp,
+	servers []*tcfs.Server, tcPrm tcfs.Params, prm Params) (*Client, error) {
+	records := int(f.Size() / int64(target.RecordSize))
+	conf, err := hpf.New1D(records, hpf.Block, target.RecordSize, len(m.CPs))
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		m:       m,
+		f:       f,
+		target:  target,
+		conf:    conf,
+		prm:     prm,
+		barrier: sim.NewBarrier(m.Eng, "2ph", len(m.CPs)),
+		perm:    sim.NewWaitGroup(m.Eng, "2ph-perm", 0),
+	}
+	c.tc = tcfs.NewClient(m, f, conf, servers, tcPrm)
+	base := make([]int64, len(m.CPs))
+	for cp := range base {
+		base[cp] = c.StagingBase(cp)
+	}
+	c.tc.SetMemBase(base)
+	return c, nil
+}
+
+// StagingBase returns the offset of cp's conforming staging area within
+// its memory (just above the application buffer).
+func (c *Client) StagingBase(cp int) int64 { return c.target.CPBytes(cp) }
+
+// MemBytes returns the total memory cp needs: application buffer plus
+// staging — the extra memory cost of two-phase I/O the paper points out.
+func (c *Client) MemBytes(cp int) int64 {
+	return c.target.CPBytes(cp) + c.conf.CPBytes(cp)
+}
+
+// EndTime returns the coordinator-observed completion time.
+func (c *Client) EndTime() sim.Time { return c.end }
+
+// TransferCP runs cp's side of the whole-file two-phase transfer.
+func (c *Client) TransferCP(p *sim.Proc, cp int, write bool) {
+	if write {
+		// Phase 1: permute application data into the conforming
+		// staging areas; Phase 2: write conforming.
+		c.permute(p, cp, c.target, c.conf)
+		c.tc.TransferCP(p, cp, true)
+		if cp == 0 {
+			c.end = c.tc.EndTime()
+		}
+		return
+	}
+	// Phase 1: read conforming into staging; Phase 2: permute into the
+	// application distribution.
+	c.tc.TransferCP(p, cp, false)
+	c.permute(p, cp, c.conf, c.target)
+	if cp == 0 {
+		c.end = p.Now()
+	}
+	c.barrier.Wait(p) // keep all CPs resident until the transfer ends
+}
+
+// permute moves every byte from its location under decomposition 'from'
+// to its location under decomposition 'to'. Each CP walks the file
+// ranges it holds under 'from', batches the pieces per destination CP,
+// and ships them with gather messages; local pieces are memcpy'd.
+func (c *Client) permute(p *sim.Proc, cp int, from, to *hpf.Decomp) {
+	c.barrier.Wait(p)
+	cpNode := c.m.CPs[cp]
+	fromBase := c.baseFor(cp, from)
+	// Destination base depends on the *destination* CP's role of 'to'.
+	perDest := make(map[int][]cluster.MemSeg)
+	for _, ch := range from.Chunks(cp) {
+		for _, run := range to.RunsInRange(ch.FileOff, ch.Len) {
+			src := fromBase + ch.MemOff + (run.FileOff - ch.FileOff)
+			dstOff := c.baseFor(run.CP, to) + run.MemOff
+			data := cpNode.Mem[src : src+run.Len]
+			if run.CP == cp {
+				_, end := cpNode.CPU.ReserveFor(c.prm.CopyPerByte * time.Duration(run.Len))
+				copy(cpNode.Mem[dstOff:dstOff+run.Len], data)
+				p.SleepUntil(end)
+				continue
+			}
+			perDest[run.CP] = append(perDest[run.CP], cluster.MemSeg{Off: dstOff, Data: data})
+		}
+	}
+	// Iterate destinations in CP order: map order would be
+	// nondeterministic and break reproducibility.
+	for dst := 0; dst < len(c.m.CPs); dst++ {
+		segs, ok := perDest[dst]
+		if !ok {
+			continue
+		}
+		c.perm.Add(1)
+		cpu := c.prm.PermuteMsgCPU + c.prm.SegmentCPU*time.Duration(len(segs)-1)
+		c.m.MemputGather(cpNode, c.m.CPs[dst], segs, cpu, nil,
+			func(sim.Time) { c.perm.Done() })
+	}
+	c.barrier.Wait(p)
+	if cp == 0 {
+		c.perm.Wait(p)
+	}
+	c.barrier.Wait(p)
+}
+
+// baseFor returns where decomposition d's buffer starts in cp's memory:
+// the application distribution sits at 0, the conforming one at the
+// staging base.
+func (c *Client) baseFor(cp int, d *hpf.Decomp) int64 {
+	if d == c.conf {
+		return c.StagingBase(cp)
+	}
+	return 0
+}
+
+// String describes the client (diagnostic).
+func (c *Client) String() string {
+	return fmt.Sprintf("twophase(conf=1D-BLOCK over %d CPs)", len(c.m.CPs))
+}

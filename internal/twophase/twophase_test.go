@@ -1,0 +1,178 @@
+package twophase
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ddio/internal/bus"
+	"ddio/internal/cluster"
+	"ddio/internal/disk"
+	"ddio/internal/hpf"
+	"ddio/internal/netsim"
+	"ddio/internal/pfs"
+	"ddio/internal/sim"
+	"ddio/internal/tcfs"
+)
+
+type rig struct {
+	eng     *sim.Engine
+	m       *cluster.Machine
+	f       *pfs.File
+	servers []*tcfs.Server
+}
+
+func newRig(t *testing.T, ncp, niop, ndisks, blocks int, layout pfs.LayoutKind) *rig {
+	t.Helper()
+	e := sim.NewEngine()
+	t.Cleanup(e.Close)
+	rng := sim.NewRand(1)
+	m := cluster.New(e, netsim.DefaultConfig(), ncp, niop, rng)
+	buses := make([]*bus.Bus, niop)
+	for i := range buses {
+		buses[i] = bus.New(e, fmt.Sprintf("bus%d", i), 10e6, 100*time.Microsecond)
+	}
+	disks := make([]*disk.Disk, ndisks)
+	for d := range disks {
+		disks[d] = disk.New(e, fmt.Sprintf("d%d", d), disk.HP97560(), buses[d%niop], nil)
+	}
+	f, err := pfs.NewFile(disks, 8192, blocks, layout, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*tcfs.Server, niop)
+	for i := range servers {
+		servers[i] = tcfs.NewServer(m, m.IOPs[i], f, ncp, tcfs.DefaultParams())
+	}
+	return &rig{eng: e, m: m, f: f, servers: servers}
+}
+
+func (r *rig) run(t *testing.T, dec *hpf.Decomp, write bool) (*Client, time.Duration) {
+	t.Helper()
+	client, err := NewClient(r.m, r.f, dec, r.servers, tcfs.DefaultParams(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cp, node := range r.m.CPs {
+		node.Mem = make([]byte, client.MemBytes(cp))
+	}
+	if write {
+		for cp, node := range r.m.CPs {
+			for _, ch := range dec.Chunks(cp) {
+				pfs.FillImage(node.Mem[ch.MemOff:ch.MemOff+ch.Len], ch.FileOff)
+			}
+		}
+	} else {
+		r.f.Preload()
+	}
+	for cp := range r.m.CPs {
+		cp := cp
+		r.eng.Go(fmt.Sprintf("cp%d", cp), func(p *sim.Proc) { client.TransferCP(p, cp, write) })
+	}
+	r.eng.Run()
+	if client.EndTime() == 0 {
+		t.Fatalf("two-phase transfer did not complete; blocked: %v", r.eng.BlockedProcs())
+	}
+	return client, client.EndTime().Duration()
+}
+
+func mustDecomp(t *testing.T, pattern string, fileBytes int64, recSize, ncp int) *hpf.Decomp {
+	t.Helper()
+	d, err := hpf.MustPattern(pattern).Decomp(fileBytes, recSize, ncp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTwoPhaseReadCorrectness(t *testing.T) {
+	for _, pattern := range []string{"rn", "rb", "rc", "rbb", "rcc", "rcn"} {
+		r := newRig(t, 4, 2, 4, 32, pfs.RandomBlocks)
+		dec := mustDecomp(t, pattern, r.f.Size(), 1024, 4)
+		r.run(t, dec, false)
+		for cp, node := range r.m.CPs {
+			for _, ch := range dec.Chunks(cp) {
+				if i := pfs.VerifyImage(node.Mem[ch.MemOff:ch.MemOff+ch.Len], ch.FileOff); i >= 0 {
+					t.Fatalf("%s cp%d: mismatch at %d", pattern, cp, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTwoPhaseWriteCorrectness(t *testing.T) {
+	for _, pattern := range []string{"wb", "wc", "wbb", "wcn"} {
+		r := newRig(t, 4, 2, 4, 32, pfs.Contiguous)
+		dec := mustDecomp(t, pattern, r.f.Size(), 1024, 4)
+		r.run(t, dec, true)
+		if i := pfs.VerifyImage(r.f.ReadBack(), 0); i >= 0 {
+			t.Fatalf("%s: file mismatch at %d", pattern, i)
+		}
+	}
+}
+
+func TestTwoPhaseMemoryOverhead(t *testing.T) {
+	// Two-phase needs application buffer + conforming staging — the
+	// extra memory cost the paper's §7.1 lists against it.
+	r := newRig(t, 4, 2, 4, 32, pfs.Contiguous)
+	dec := mustDecomp(t, "rc", r.f.Size(), 1024, 4)
+	client, err := NewClient(r.m, r.f, dec, r.servers, tcfs.DefaultParams(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cp := 0; cp < 4; cp++ {
+		if client.MemBytes(cp) <= dec.CPBytes(cp) {
+			t.Fatalf("cp%d: two-phase memory %d not larger than app buffer %d",
+				cp, client.MemBytes(cp), dec.CPBytes(cp))
+		}
+		if client.StagingBase(cp) != dec.CPBytes(cp) {
+			t.Fatalf("cp%d staging base %d", cp, client.StagingBase(cp))
+		}
+	}
+}
+
+func TestTwoPhaseConformingPhaseIsBlockDistributed(t *testing.T) {
+	// The conforming distribution must make large contiguous requests:
+	// request count equals the block count, not the (much larger)
+	// cyclic chunk count.
+	r := newRig(t, 4, 2, 4, 32, pfs.Contiguous)
+	dec := mustDecomp(t, "rc", r.f.Size(), 8, 4) // 8-byte cyclic: 32768 chunks
+	r.run(t, dec, false)
+	var requests int64
+	for _, s := range r.servers {
+		requests += s.Metrics().Requests
+	}
+	if requests != 32 {
+		t.Fatalf("conforming phase made %d IOP requests, want 32 (one per block)", requests)
+	}
+}
+
+func TestTwoPhaseLocalDataIsCopiedNotSent(t *testing.T) {
+	// rb == the conforming distribution: the permutation is all local
+	// copies, no network messages beyond the I/O phase itself.
+	r := newRig(t, 4, 2, 4, 16, pfs.Contiguous)
+	dec := mustDecomp(t, "rb", r.f.Size(), 8192, 4)
+	r.run(t, dec, false)
+	// rb equals the conforming distribution, so the permutation degrades
+	// to pure local copies; the strong invariant is a byte-identical
+	// result without any cross-CP placement.
+	for cp, node := range r.m.CPs {
+		for _, ch := range dec.Chunks(cp) {
+			if i := pfs.VerifyImage(node.Mem[ch.MemOff:ch.MemOff+ch.Len], ch.FileOff); i >= 0 {
+				t.Fatalf("cp%d mismatch at %d", cp, i)
+			}
+		}
+	}
+}
+
+func TestTwoPhaseString(t *testing.T) {
+	r := newRig(t, 2, 1, 1, 4, pfs.Contiguous)
+	dec := mustDecomp(t, "rb", r.f.Size(), 8192, 2)
+	client, err := NewClient(r.m, r.f, dec, r.servers, tcfs.DefaultParams(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.String() == "" {
+		t.Fatal("empty description")
+	}
+}
