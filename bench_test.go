@@ -102,6 +102,40 @@ func BenchmarkFig3b(b *testing.B) {
 		[]ddio.Method{ddio.TraditionalCaching, ddio.DiskDirected, ddio.DiskDirectedSort})
 }
 
+// BenchmarkFig3bParallel: the BenchmarkFig3b grid fanned out on the
+// parallel runner (GOMAXPROCS workers). Compare against BenchmarkFig3b
+// for the end-to-end regeneration speedup on a multi-core machine; on
+// one core the two are equivalent.
+func BenchmarkFig3bParallel(b *testing.B) {
+	var cfgs []ddio.Config
+	for _, pattern := range ddio.AllPatterns() {
+		for _, m := range []ddio.Method{ddio.TraditionalCaching, ddio.DiskDirected, ddio.DiskDirectedSort} {
+			cfg := ddio.DefaultConfig()
+			cfg.FileBytes = 1 * ddio.MiB
+			cfg.Layout = ddio.RandomBlocks
+			cfg.RecordSize = 8192
+			cfg.Pattern = pattern
+			cfg.Method = m
+			cfg.Seed = 11
+			cfg.Verify = false
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	r := ddio.NewRunner(0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := r.RunAll(cfgs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, res := range results {
+			sum += res.MBps
+		}
+		b.ReportMetric(sum/float64(len(results)), "simMB/s")
+	}
+}
+
 // BenchmarkFig4a: contiguous layout, 8-byte records.
 func BenchmarkFig4a(b *testing.B) {
 	benchPatternGrid(b, ddio.MiB/2, ddio.Contiguous, 8,

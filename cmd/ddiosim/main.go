@@ -28,6 +28,7 @@ func main() {
 	flag.IntVar(&cfg.RecordSize, "record", cfg.RecordSize, "record size in bytes")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	trials := flag.Int("trials", 1, "independent trials (mean reported)")
+	workers := flag.Int("j", 0, "concurrent trial runs (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print substrate metrics")
 	flag.BoolVar(&cfg.Verify, "verify", true, "verify data end to end")
 	flag.BoolVar(&cfg.DD.GatherScatter, "gather", false, "gather/scatter Memput/Memget (paper future work)")
@@ -51,7 +52,7 @@ func main() {
 	cfg.Pattern = *pattern
 	cfg.FileBytes = *fileMB * exp.MiB
 
-	t, err := exp.Trials(cfg, *trials)
+	t, err := exp.NewRunner(*workers, nil).Trials(cfg, *trials)
 	if err != nil {
 		fatal(err)
 	}

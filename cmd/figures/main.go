@@ -3,12 +3,16 @@
 // machine-readable files.
 //
 // The paper used five trials of a 10 MB file; -trials and -filemb trade
-// fidelity for time (shapes are stable well below the defaults).
+// fidelity for time (shapes are stable well below the defaults). Every
+// (cell × trial) simulation is independent, so -j fans them out over a
+// worker pool; tables are bit-identical for any -j, only the progress
+// line order changes.
 //
 // Example:
 //
 //	figures -fig 3 -trials 5
 //	figures -all -trials 3 -filemb 10 -out results/
+//	figures -all -j 16
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 	fileMB := flag.Int64("filemb", 10, "file size in MiB")
 	seed := flag.Int64("seed", 42, "base random seed")
 	verify := flag.Bool("verify", true, "verify data end to end in every run")
+	workers := flag.Int("j", 0, "concurrent experiment runs (0 = GOMAXPROCS); tables are identical for any -j")
 	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
 	csv := flag.Bool("csv", false, "also write CSV files")
 	out := flag.String("out", "", "directory for CSV output (default: current)")
@@ -39,6 +44,7 @@ func main() {
 		FileBytes: *fileMB * exp.MiB,
 		Seed:      *seed,
 		Verify:    *verify,
+		Workers:   *workers,
 	}
 	if !*quiet {
 		start := time.Now()
@@ -76,7 +82,19 @@ func main() {
 	if which["table1"] {
 		fmt.Println(exp.Table1())
 	}
-	var fig3Tables, fig4Tables []*exp.Table
+	// When both pattern figures are requested, regenerate them together
+	// and distill the paper's headline claims (printed after the other
+	// figures).
+	var headlines *exp.Headlines
+	if which["3"] && which["4"] {
+		h, tables, err := exp.RegenerateHeadlines(opt)
+		if err != nil {
+			fatal(err)
+		}
+		headlines = h
+		emit(tables...)
+		which["3"], which["4"] = false, false
+	}
 	type gen2 func(exp.Options) ([]*exp.Table, error)
 	type gen1 func(exp.Options) (*exp.Table, error)
 	for _, g := range []struct {
@@ -99,11 +117,6 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if g.key == "3" {
-				fig3Tables = tables
-			} else {
-				fig4Tables = tables
-			}
 			emit(tables...)
 		} else {
 			t, err := g.fn1(opt)
@@ -113,16 +126,8 @@ func main() {
 			emit(t)
 		}
 	}
-
-	// When both pattern figures were regenerated, distill the paper's
-	// headline claims from them.
-	if fig3Tables != nil && fig4Tables != nil {
-		base := exp.DefaultConfig()
-		h, err := exp.ComputeHeadlines(fig3Tables, fig4Tables, base.MaxBandwidthMBps())
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(h.Format())
+	if headlines != nil {
+		fmt.Println(headlines.Format())
 	}
 }
 

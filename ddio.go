@@ -86,6 +86,17 @@ func DefaultOptions() Options { return exp.DefaultOptions() }
 // Wilkes parameters).
 func HP97560() *DiskSpec { return disk.HP97560() }
 
+// Runner executes independent experiment runs on a bounded worker pool,
+// with results slotted by index so output is bit-identical to a
+// sequential run regardless of worker count.
+type Runner = exp.Runner
+
+// NewRunner returns a runner with the given concurrency (workers <= 0
+// selects GOMAXPROCS) and optional serialized progress sink.
+func NewRunner(workers int, progress func(string)) *Runner {
+	return exp.NewRunner(workers, progress)
+}
+
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) { return exp.Run(cfg) }
 

@@ -1,0 +1,3 @@
+module ddio
+
+go 1.24

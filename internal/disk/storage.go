@@ -11,10 +11,13 @@ func (d *Disk) WriteData(lbn int64, data []byte) {
 	if len(data)%ss != 0 {
 		panic("disk: WriteData length not sector-aligned")
 	}
+	// One backing array per call, subsliced per sector. Stored sectors
+	// are never mutated in place (a later write replaces the map entry),
+	// so sharing the backing array between sectors is safe.
+	buf := make([]byte, len(data))
+	copy(buf, data)
 	for off := 0; off < len(data); off += ss {
-		sector := make([]byte, ss)
-		copy(sector, data[off:off+ss])
-		d.storage[lbn+int64(off/ss)] = sector
+		d.storage[lbn+int64(off/ss)] = buf[off : off+ss : off+ss]
 	}
 }
 

@@ -87,6 +87,10 @@ type Config struct {
 	Seed   int64
 	Verify bool
 
+	// Disk is the drive model. The Spec is shared by every disk of the
+	// run — and, when a Config is replicated across trials, by
+	// concurrent runs on the Runner's pool — so it must not be mutated
+	// once experiments start (mutate a copy, as cmd/ddiosim does).
 	Disk         *disk.Spec
 	DiskSched    disk.Scheduler // nil = FCFS
 	Net          netsim.Config

@@ -17,7 +17,13 @@ type Options struct {
 	FileBytes int64
 	Seed      int64
 	Verify    bool
+	// Workers bounds how many experiment runs execute concurrently;
+	// <= 0 selects GOMAXPROCS. Tables are bit-identical for any worker
+	// count (results are slotted by position, seeds by trial index).
+	Workers int
 	// Progress, if non-nil, receives one line per completed cell.
+	// Lines are serialized; with Workers > 1 cells complete (and
+	// report) out of table order.
 	Progress func(string)
 }
 
@@ -34,13 +40,44 @@ func (o Options) base() Config {
 	return cfg
 }
 
-func (o Options) progress(format string, args ...any) {
-	if o.Progress != nil {
-		o.Progress(fmt.Sprintf(format, args...))
+func (o Options) runner() *Runner { return NewRunner(o.Workers, o.Progress) }
+
+func (o Options) trials() int {
+	if o.Trials < 1 {
+		return 1
 	}
+	return o.Trials
 }
 
-// patternTable measures patterns × methods at a fixed layout/record size.
+// cellAgg aggregates one table cell from its trial results as they
+// complete on the pool. Trial MBps values are slotted by trial index, so
+// the mean and CV are summed in the same order as a sequential run and
+// the resulting cells are bit-identical.
+type cellAgg struct {
+	mbps []float64
+	left int
+}
+
+func newCellAggs(n, trials int) []cellAgg {
+	aggs := make([]cellAgg, n)
+	for i := range aggs {
+		aggs[i] = cellAgg{mbps: make([]float64, trials), left: trials}
+	}
+	return aggs
+}
+
+// done records one trial and reports whether the cell is complete.
+func (a *cellAgg) done(trial int, res *Result) bool {
+	a.mbps[trial] = res.MBps
+	a.left--
+	return a.left == 0
+}
+
+func (a *cellAgg) cell() Cell { return Cell{Mean: mean(a.mbps), CV: cv(a.mbps)} }
+
+// patternTable measures patterns × methods at a fixed layout/record
+// size, running every (cell × trial) simulation on the options' worker
+// pool.
 func patternTable(o Options, id, title string, layout pfs.LayoutKind, recordSize int,
 	patterns []string, methods []Method) (*Table, error) {
 	t := &Table{ID: id, Title: title, RowLabel: "pattern", Rows: patterns}
@@ -48,21 +85,38 @@ func patternTable(o Options, id, title string, layout pfs.LayoutKind, recordSize
 		t.Cols = append(t.Cols, m.String())
 	}
 	t.Cells = make([][]Cell, len(patterns))
-	for i, pat := range patterns {
+	for i := range t.Cells {
 		t.Cells[i] = make([]Cell, len(methods))
-		for j, method := range methods {
+	}
+	trials := o.trials()
+	cfgs := make([]Config, 0, len(patterns)*len(methods)*trials)
+	for _, pat := range patterns {
+		for _, method := range methods {
 			cfg := o.base()
 			cfg.Layout = layout
 			cfg.RecordSize = recordSize
 			cfg.Pattern = pat
 			cfg.Method = method
-			tr, err := Trials(cfg, o.Trials)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s/%v: %w", id, pat, method, err)
+			for k := 0; k < trials; k++ {
+				c := cfg
+				c.Seed = trialSeed(cfg.Seed, k)
+				cfgs = append(cfgs, c)
 			}
-			t.Cells[i][j] = Cell{Mean: tr.Mean, CV: tr.CV}
-			o.progress("%s %-4s %-9v %7.2f MB/s (cv %.3f)", id, pat, method, tr.Mean, tr.CV)
 		}
+	}
+	r := o.runner()
+	aggs := newCellAggs(len(patterns)*len(methods), trials)
+	_, err := r.RunAll(cfgs, func(idx int, res *Result) {
+		cell, trial := idx/trials, idx%trials
+		if aggs[cell].done(trial, res) {
+			i, j := cell/len(methods), cell%len(methods)
+			t.Cells[i][j] = aggs[cell].cell()
+			r.progressLocked("%s %-4s %-9v %7.2f MB/s (cv %.3f)",
+				id, patterns[i], methods[j], t.Cells[i][j].Mean, t.Cells[i][j].CV)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
 	}
 	return t, nil
 }
@@ -115,18 +169,23 @@ func Figure4(o Options) ([]*Table, error) {
 func sweepTable(o Options, id, title, rowLabel string, values []int,
 	layout pfs.LayoutKind, ddioMethod Method, mutate func(*Config, int)) (*Table, error) {
 	patterns := []string{"ra", "rn", "rb", "rc"}
+	methods := []Method{ddioMethod, TraditionalCaching}
 	t := &Table{ID: id, Title: title, RowLabel: rowLabel}
-	for _, m := range []Method{ddioMethod, TraditionalCaching} {
+	for _, m := range methods {
 		for _, p := range patterns {
 			t.Cols = append(t.Cols, fmt.Sprintf("%s %s", m, p))
 		}
 	}
 	t.Cols = append(t.Cols, "max-bw")
-	for _, v := range values {
+	cellsPerRow := len(methods) * len(patterns)
+	trials := o.trials()
+	cfgs := make([]Config, 0, len(values)*cellsPerRow*trials)
+	t.Cells = make([][]Cell, len(values))
+	for vi, v := range values {
 		t.Rows = append(t.Rows, fmt.Sprintf("%d", v))
-		row := make([]Cell, 0, len(t.Cols))
+		t.Cells[vi] = make([]Cell, cellsPerRow+1)
 		var ceiling float64
-		for _, m := range []Method{ddioMethod, TraditionalCaching} {
+		for _, m := range methods {
 			for _, p := range patterns {
 				cfg := o.base()
 				cfg.Layout = layout
@@ -135,16 +194,29 @@ func sweepTable(o Options, id, title, rowLabel string, values []int,
 				cfg.Method = m
 				mutate(&cfg, v)
 				ceiling = cfg.MaxBandwidthMBps()
-				tr, err := Trials(cfg, o.Trials)
-				if err != nil {
-					return nil, fmt.Errorf("%s %s/%v@%d: %w", id, p, m, v, err)
+				for k := 0; k < trials; k++ {
+					c := cfg
+					c.Seed = trialSeed(cfg.Seed, k)
+					cfgs = append(cfgs, c)
 				}
-				row = append(row, Cell{Mean: tr.Mean, CV: tr.CV})
-				o.progress("%s %s=%d %-4s %-9v %7.2f MB/s (cv %.3f)", id, rowLabel, v, p, m, tr.Mean, tr.CV)
 			}
 		}
-		row = append(row, Cell{Mean: ceiling})
-		t.Cells = append(t.Cells, row)
+		t.Cells[vi][cellsPerRow] = Cell{Mean: ceiling}
+	}
+	r := o.runner()
+	aggs := newCellAggs(len(values)*cellsPerRow, trials)
+	_, err := r.RunAll(cfgs, func(idx int, res *Result) {
+		cell, trial := idx/trials, idx%trials
+		if aggs[cell].done(trial, res) {
+			vi, ci := cell/cellsPerRow, cell%cellsPerRow
+			t.Cells[vi][ci] = aggs[cell].cell()
+			r.progressLocked("%s %s=%s %-4s %-9v %7.2f MB/s (cv %.3f)", id, rowLabel,
+				t.Rows[vi], patterns[ci%len(patterns)], methods[ci/len(patterns)],
+				t.Cells[vi][ci].Mean, t.Cells[vi][ci].CV)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
 	}
 	return t, nil
 }

@@ -25,6 +25,26 @@ type Headlines struct {
 	ContigOverRandom   float64 // median DDIO contiguous / DDIO+sort random
 }
 
+// RegenerateHeadlines regenerates Figures 3 and 4 with the options'
+// worker pool and distills the headline claims from them. The tables
+// are returned too so callers can render them without a second pass.
+func RegenerateHeadlines(o Options) (*Headlines, []*Table, error) {
+	fig3, err := Figure3(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	fig4, err := Figure4(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	base := o.base()
+	h, err := ComputeHeadlines(fig3, fig4, base.MaxBandwidthMBps())
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, append(fig3, fig4...), nil
+}
+
 // ComputeHeadlines derives the headline numbers from the Figure 3 and
 // Figure 4 tables (each a pair: 8-byte and 8192-byte records).
 func ComputeHeadlines(fig3, fig4 []*Table, ceilingMBps float64) (*Headlines, error) {

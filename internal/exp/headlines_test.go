@@ -80,3 +80,22 @@ func TestMedian(t *testing.T) {
 		t.Fatalf("even median %v", m)
 	}
 }
+
+// RegenerateHeadlines runs the full Figure 3+4 grid (scaled down) and
+// must produce positive headline ratios and all four tables.
+func TestRegenerateHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full pattern grid")
+	}
+	o := Options{Trials: 1, FileBytes: 512 * 1024, Seed: 5, Verify: false, Workers: 8}
+	h, tables, err := RegenerateHeadlines(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("got %d tables, want 4", len(tables))
+	}
+	if h.MaxSpeedupRandom <= 1 || h.MaxSpeedupContig <= 1 {
+		t.Fatalf("headline speedups not positive: %+v", h)
+	}
+}

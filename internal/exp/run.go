@@ -256,27 +256,8 @@ type Trial struct {
 }
 
 // Trials replicates cfg n times with derived seeds (varying the random
-// disk layout and network jitter) and aggregates throughput.
+// disk layout and network jitter) and aggregates throughput. Runs are
+// sequential; use Runner.Trials to replicate on a worker pool.
 func Trials(cfg Config, n int) (*Trial, error) {
-	if n < 1 {
-		n = 1
-	}
-	t := &Trial{}
-	for i := 0; i < n; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)*1000003
-		r, err := Run(c)
-		if err != nil {
-			return nil, err
-		}
-		if r.VerifyErrors > 0 {
-			return nil, fmt.Errorf("exp: %v/%s seed %d: %d verification errors",
-				c.Method, c.Pattern, c.Seed, r.VerifyErrors)
-		}
-		t.Results = append(t.Results, r)
-		t.MBps = append(t.MBps, r.MBps)
-	}
-	t.Mean = mean(t.MBps)
-	t.CV = cv(t.MBps)
-	return t, nil
+	return NewRunner(1, nil).Trials(cfg, n)
 }

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner executes independent experiment runs on a bounded worker pool.
+// Every simulation is a pure function of its Config (including the
+// seed), so runs can proceed concurrently; results are slotted by input
+// index, which makes tables and trial aggregates bit-identical to a
+// sequential execution regardless of worker count or completion order.
+//
+// Progress lines are serialized through the runner's lock so concurrent
+// completions never interleave mid-line.
+type Runner struct {
+	workers  int
+	progress func(string)
+	mu       sync.Mutex
+}
+
+// NewRunner returns a runner with the given concurrency. workers <= 0
+// selects GOMAXPROCS. progress, if non-nil, receives serialized
+// progress lines (one per completed cell or trial group).
+func NewRunner(workers int, progress func(string)) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, progress: progress}
+}
+
+// progressf emits one progress line under the runner's lock. Safe to
+// call from any goroutine.
+func (r *Runner) progressf(format string, args ...any) {
+	if r.progress == nil {
+		return
+	}
+	r.mu.Lock()
+	r.progressLocked(format, args...)
+	r.mu.Unlock()
+}
+
+// progressLocked emits one progress line; the caller must already hold
+// the runner's lock (as RunAll onDone callbacks do).
+func (r *Runner) progressLocked(format string, args ...any) {
+	if r.progress == nil {
+		return
+	}
+	r.progress(fmt.Sprintf(format, args...))
+}
+
+// RunAll executes every config and returns the results in input order.
+// onDone, if non-nil, is invoked once per successful run while holding
+// the runner's lock, so callers can update shared completion state
+// (and emit progress) without further synchronization; by the time the
+// last onDone for a group fires, all of that group's result slots are
+// visible. On failure RunAll reports the lowest-indexed error that was
+// observed; when several configs fail, which one was observed first
+// can vary with scheduling.
+func (r *Runner) RunAll(cfgs []Config, onDone func(i int, res *Result)) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := r.workers
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		for i := range cfgs {
+			if err := r.runOne(cfgs, i, results, errs, onDone); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	// Fail fast like the sequential path: once any run fails, workers
+	// skip the remaining configs (draining the feed so it never
+	// blocks). A lower-indexed config may be skipped after a
+	// higher-indexed one has already failed, so the error scan below
+	// picks the lowest-indexed failure that actually ran.
+	var failed atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				if r.runOne(cfgs, i, results, errs, onDone) != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runOne executes cfgs[i] and slots its outcome. Errors are wrapped
+// with the config's method/pattern/seed so figure generators only need
+// to add the table id.
+func (r *Runner) runOne(cfgs []Config, i int, results []*Result, errs []error, onDone func(int, *Result)) error {
+	res, err := Run(cfgs[i])
+	if err == nil && res.VerifyErrors > 0 {
+		err = fmt.Errorf("exp: %v/%s seed %d: %d verification errors",
+			cfgs[i].Method, cfgs[i].Pattern, cfgs[i].Seed, res.VerifyErrors)
+	} else if err != nil {
+		err = fmt.Errorf("%v/%s seed %d: %w", cfgs[i].Method, cfgs[i].Pattern, cfgs[i].Seed, err)
+	}
+	results[i], errs[i] = res, err
+	if err == nil && onDone != nil {
+		r.mu.Lock()
+		onDone(i, res)
+		r.mu.Unlock()
+	}
+	return err
+}
+
+// trialSeed derives the seed of trial k from a base config, the same
+// derivation sequential Trials has always used.
+func trialSeed(base int64, k int) int64 { return base + int64(k)*1000003 }
+
+// Trials replicates cfg n times with derived seeds (varying the random
+// disk layout and network jitter), running them on the pool, and
+// aggregates throughput.
+func (r *Runner) Trials(cfg Config, n int) (*Trial, error) {
+	if n < 1 {
+		n = 1
+	}
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Seed = trialSeed(cfg.Seed, i)
+	}
+	results, err := r.RunAll(cfgs, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trial{Results: results, MBps: make([]float64, n)}
+	for i, res := range results {
+		t.MBps[i] = res.MBps
+	}
+	t.Mean = mean(t.MBps)
+	t.CV = cv(t.MBps)
+	return t, nil
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ddio/internal/pfs"
+)
+
+// parOptions is a scaled-down figure configuration for runner tests.
+func parOptions(workers int) Options {
+	return Options{Trials: 2, FileBytes: 512 * 1024, Seed: 9, Verify: true, Workers: workers}
+}
+
+// The tentpole determinism contract: a figure table generated on eight
+// workers must be bit-identical to the sequential one — seeds derive
+// from (cell, trial) position and results are slotted by index, so
+// scheduling order cannot leak into the cells.
+func TestPatternTableParallelBitIdentical(t *testing.T) {
+	patterns := []string{"ra", "rb", "rc"}
+	methods := []Method{TraditionalCaching, DiskDirected}
+	seq, err := patternTable(parOptions(1), "figP", "test", pfs.RandomBlocks, 8192, patterns, methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := patternTable(parOptions(8), "figP", "test", pfs.RandomBlocks, 8192, patterns, methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Cells, par.Cells) {
+		t.Fatalf("parallel cells differ from sequential:\nseq %+v\npar %+v", seq.Cells, par.Cells)
+	}
+}
+
+// The same contract for the machine-shape sweeps (a scaled Figure 5).
+func TestSweepTableParallelBitIdentical(t *testing.T) {
+	mutate := func(c *Config, v int) { c.NCP = v; c.NIOP, c.NDisks = 4, 4 }
+	seq, err := sweepTable(parOptions(1), "figS", "test", "CPs", []int{1, 4}, pfs.Contiguous, DiskDirected, mutate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweepTable(parOptions(8), "figS", "test", "CPs", []int{1, 4}, pfs.Contiguous, DiskDirected, mutate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Cells, par.Cells) {
+		t.Fatalf("parallel cells differ from sequential:\nseq %+v\npar %+v", seq.Cells, par.Cells)
+	}
+}
+
+// Runner.Trials on a pool must aggregate exactly like sequential Trials.
+func TestRunnerTrialsMatchesSequential(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.Method = DiskDirectedSort
+	cfg.Pattern = "rb"
+	seq, err := Trials(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewRunner(4, nil).Trials(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.MBps, par.MBps) || seq.Mean != par.Mean || seq.CV != par.CV {
+		t.Fatalf("parallel trials differ: %v/%v vs %v/%v", seq.MBps, seq.Mean, par.MBps, par.Mean)
+	}
+}
+
+// Progress lines under the parallel runner arrive serialized, one
+// complete line per cell (order may differ from table order).
+func TestParallelProgressSerialized(t *testing.T) {
+	var lines []string
+	o := parOptions(8)
+	o.Progress = func(s string) { lines = append(lines, s) } // safe: called under the runner lock
+	patterns := []string{"ra", "rb"}
+	methods := []Method{TraditionalCaching, DiskDirected}
+	if _, err := patternTable(o, "figQ", "test", pfs.Contiguous, 8192, patterns, methods); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(patterns)*len(methods) {
+		t.Fatalf("got %d progress lines, want %d: %q", len(lines), len(patterns)*len(methods), lines)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "figQ ") || !strings.Contains(l, "MB/s") {
+			t.Fatalf("malformed progress line %q", l)
+		}
+	}
+}
+
+// A failing config aborts the whole batch with an error.
+func TestRunAllReportsError(t *testing.T) {
+	good := smokeCfg()
+	bad := smokeCfg()
+	bad.Pattern = "zz"
+	if _, err := NewRunner(4, nil).RunAll([]Config{good, bad, good}, nil); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

@@ -76,7 +76,7 @@ func TestFigureOptionsProgress(t *testing.T) {
 	var lines []string
 	o := Options{Trials: 1, FileBytes: 256 * 1024, Seed: 1, Verify: true,
 		Progress: func(s string) { lines = append(lines, s) }}
-	o.progress("x %d", 42)
+	o.runner().progressf("x %d", 42)
 	if len(lines) != 1 || lines[0] != "x 42" {
 		t.Fatalf("progress %v", lines)
 	}

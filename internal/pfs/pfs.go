@@ -81,22 +81,22 @@ func NewFile(disks []*disk.Disk, blockSize, numBlocks int, layout LayoutKind, rn
 		if int64(nLocal) > slotsPerDisk {
 			return nil, fmt.Errorf("pfs: %d blocks exceed disk capacity of %d slots", nLocal, slotsPerDisk)
 		}
-		var slots []int
+		var slots []int64
 		switch layout {
 		case Contiguous:
-			slots = make([]int, nLocal)
+			slots = make([]int64, nLocal)
 			for i := range slots {
-				slots[i] = i
+				slots[i] = int64(i)
 			}
 		case RandomBlocks:
 			r := rng.Stream(fmt.Sprintf("layout:disk%d", d))
-			slots = r.Perm(int(slotsPerDisk))[:nLocal]
+			slots = sampleSlots(r, slotsPerDisk, nLocal)
 		default:
 			return nil, fmt.Errorf("pfs: unknown layout %v", layout)
 		}
 		i := 0
 		for b := d; b < numBlocks; b += len(disks) {
-			f.placement[b] = int64(slots[i]) * f.sectorsPerBlock
+			f.placement[b] = slots[i] * f.sectorsPerBlock
 			i++
 		}
 	}

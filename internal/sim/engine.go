@@ -195,7 +195,7 @@ func (e *Engine) dispatch(p *Proc) {
 // wake schedules p to resume at the current instant, after any events
 // already queued for this instant (FIFO fairness).
 func (e *Engine) wake(p *Proc) {
-	e.At(e.now, func() { e.dispatch(p) })
+	e.At(e.now, p.dispatch)
 }
 
 // BlockedProcs returns the names and park-states of procs that are
@@ -204,7 +204,7 @@ func (e *Engine) wake(p *Proc) {
 func (e *Engine) BlockedProcs() []string {
 	var out []string
 	for p := range e.procs {
-		out = append(out, p.name+" ["+p.state+"]")
+		out = append(out, p.name+" ["+p.parkState()+"]")
 	}
 	return out
 }

@@ -10,13 +10,16 @@ import (
 // Procs block by parking themselves on synchronization objects or by
 // sleeping; control returns to the engine, which advances virtual time.
 type Proc struct {
-	eng    *Engine
-	name   string
-	state  string // human-readable park reason, for deadlock diagnosis
-	resume chan struct{}
-	exited chan struct{}
-	killed bool
-	dead   bool
+	eng      *Engine
+	name     string
+	state    string // park reason for non-sleep parks, for deadlock diagnosis
+	asleep   bool   // parked in SleepUntil; deadline holds the wake time
+	deadline Time
+	dispatch func() // reusable event callback: dispatches this proc
+	resume   chan struct{}
+	exited   chan struct{}
+	killed   bool
+	dead     bool
 }
 
 // procKilled is panicked inside a proc goroutine when the engine shuts
@@ -33,6 +36,9 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		exited: make(chan struct{}),
 	}
+	// One dispatch closure per proc, reused by every sleep and wake-up,
+	// instead of a fresh allocation per event.
+	p.dispatch = func() { e.dispatch(p) }
 	e.At(e.now, func() {
 		go p.top(fn)
 		e.procs[p] = struct{}{}
@@ -70,6 +76,16 @@ func (p *Proc) park(state string) {
 		panic(procKilled{})
 	}
 	p.state = ""
+	p.asleep = false
+}
+
+// parkState returns the human-readable reason the proc is blocked.
+// Sleep deadlines are formatted lazily here rather than on every sleep.
+func (p *Proc) parkState() string {
+	if p.asleep {
+		return fmt.Sprintf("sleep until %v", p.deadline)
+	}
+	return p.state
 }
 
 // Name returns the proc's diagnostic name.
@@ -98,8 +114,10 @@ func (p *Proc) SleepUntil(t Time) {
 	if t < e.now {
 		t = e.now
 	}
-	e.At(t, func() { e.dispatch(p) })
-	p.park(fmt.Sprintf("sleep until %v", t))
+	e.At(t, p.dispatch)
+	p.deadline = t
+	p.asleep = true
+	p.park("")
 }
 
 // Yield reschedules the proc at the current instant behind already-queued

@@ -8,10 +8,11 @@ package sim
 
 // Semaphore is a counting semaphore with FIFO waiters.
 type Semaphore struct {
-	eng   *Engine
-	name  string
-	avail int
-	waits []*semWaiter
+	eng       *Engine
+	name      string
+	parkLabel string // precomputed park reason (avoids per-wait concat)
+	avail     int
+	waits     []*semWaiter
 }
 
 type semWaiter struct {
@@ -21,7 +22,7 @@ type semWaiter struct {
 
 // NewSemaphore returns a semaphore with n initial permits.
 func NewSemaphore(e *Engine, name string, n int) *Semaphore {
-	return &Semaphore{eng: e, name: name, avail: n}
+	return &Semaphore{eng: e, name: name, parkLabel: "sem " + name, avail: n}
 }
 
 // Available returns the current number of permits.
@@ -40,7 +41,7 @@ func (s *Semaphore) Acquire(p *Proc, n int) {
 		return
 	}
 	s.waits = append(s.waits, &semWaiter{p: p, n: n})
-	p.park("sem " + s.name)
+	p.park(s.parkLabel)
 }
 
 // TryAcquire takes n permits if immediately available and no earlier
@@ -71,11 +72,12 @@ func (s *Semaphore) Release(n int) {
 // Barrier is a reusable N-party barrier, used by compute processors
 // around collective operations.
 type Barrier struct {
-	eng     *Engine
-	name    string
-	parties int
-	arrived int
-	waits   []*Proc
+	eng       *Engine
+	name      string
+	parkLabel string
+	parties   int
+	arrived   int
+	waits     []*Proc
 }
 
 // NewBarrier returns a barrier for the given number of parties.
@@ -83,7 +85,7 @@ func NewBarrier(e *Engine, name string, parties int) *Barrier {
 	if parties < 1 {
 		panic("sim: barrier needs at least one party")
 	}
-	return &Barrier{eng: e, name: name, parties: parties}
+	return &Barrier{eng: e, name: name, parkLabel: "barrier " + name, parties: parties}
 }
 
 // Wait blocks p until all parties have arrived; the last arrival releases
@@ -99,22 +101,23 @@ func (b *Barrier) Wait(p *Proc) {
 		return
 	}
 	b.waits = append(b.waits, p)
-	p.park("barrier " + b.name)
+	p.park(b.parkLabel)
 }
 
 // WaitGroup counts outstanding work items; procs can wait for the count
 // to reach zero. Unlike sync.WaitGroup it is usable from event context
 // for Add/Done.
 type WaitGroup struct {
-	eng   *Engine
-	name  string
-	count int
-	waits []*Proc
+	eng       *Engine
+	name      string
+	parkLabel string
+	count     int
+	waits     []*Proc
 }
 
 // NewWaitGroup returns a WaitGroup with an initial count.
 func NewWaitGroup(e *Engine, name string, count int) *WaitGroup {
-	return &WaitGroup{eng: e, name: name, count: count}
+	return &WaitGroup{eng: e, name: name, parkLabel: "waitgroup " + name, count: count}
 }
 
 // Add adds delta (which may be negative) to the counter. If the counter
@@ -145,27 +148,28 @@ func (w *WaitGroup) Wait(p *Proc) {
 		return
 	}
 	w.waits = append(w.waits, p)
-	p.park("waitgroup " + w.name)
+	p.park(w.parkLabel)
 }
 
 // Cond is a condition variable: procs wait for a predicate guarded by the
 // single-threaded engine, and any context may signal.
 type Cond struct {
-	eng   *Engine
-	name  string
-	waits []*Proc
+	eng       *Engine
+	name      string
+	parkLabel string
+	waits     []*Proc
 }
 
 // NewCond returns a new condition variable.
 func NewCond(e *Engine, name string) *Cond {
-	return &Cond{eng: e, name: name}
+	return &Cond{eng: e, name: name, parkLabel: "cond " + name}
 }
 
 // Wait blocks p until Signal or Broadcast wakes it. As with all condition
 // variables, callers must re-check their predicate after waking.
 func (c *Cond) Wait(p *Proc) {
 	c.waits = append(c.waits, p)
-	p.park("cond " + c.name)
+	p.park(c.parkLabel)
 }
 
 // Signal wakes one waiter (FIFO), if any.
