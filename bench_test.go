@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation, plus ablations of the design choices called out in
-// DESIGN.md. Each benchmark iteration runs the figure's full
+// evaluation, plus ablations of the design choices called out in the
+// paper (§5–7). Each benchmark iteration runs the figure's full
 // pattern/method grid on a scaled-down file (shapes are stable well
 // below 10 MB; the cmd/figures tool runs the full-size version) and
 // reports mean throughput via b.ReportMetric.
@@ -196,7 +196,7 @@ func BenchmarkFig8(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §7) ---
+// --- Ablations (paper §5–7) ---
 
 // benchOne runs a single configuration and reports simulated MB/s.
 func benchOne(b *testing.B, mutate func(*ddio.Config)) {

@@ -15,8 +15,9 @@
 //	fmt.Printf("%.1f MB/s\n", res.MBps)
 //
 // Every simulated transfer moves real bytes and is verified end to end.
-// Figure3 … Figure8 regenerate the paper's evaluation; see EXPERIMENTS.md
-// for measured-vs-paper numbers.
+// Figure3 … Figure8 regenerate the paper's evaluation; README.md maps
+// each figure to its command and benchmark, and ARCHITECTURE.md tours
+// the simulation stack underneath.
 package ddio
 
 import (

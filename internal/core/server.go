@@ -148,6 +148,7 @@ func (s *Server) readLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.De
 		runs := dec.RunsInRange(int64(b)*bs, bs)
 		if s.prm.GatherScatter {
 			s.memputGather(w, b, data, runs, delivered)
+			dd.Recycle(data)
 			continue
 		}
 		sent := sim.NewWaitGroup(s.m.Eng, "dd-sent", 0)
@@ -162,6 +163,7 @@ func (s *Server) readLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.De
 		}
 		// The buffer is reusable once the NIC has drained it.
 		sent.Wait(w)
+		dd.Recycle(data)
 	}
 }
 
@@ -175,7 +177,9 @@ func (s *Server) writeLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.D
 		}
 		s.m2.Blocks++
 		runs := dec.RunsInRange(int64(b)*bs, bs)
-		buf := make([]byte, s.f.BlockSize)
+		// Scratch block from the disk's free list; only run-covered bytes
+		// are ever read out of it, so no clearing is needed.
+		buf := dd.Buffer(s.f.BlockSize)
 		covered := int64(0)
 		arrived := sim.NewWaitGroup(s.m.Eng, "dd-arrived", 0)
 		fetch := func(r hpf.Run) {
@@ -203,24 +207,20 @@ func (s *Server) writeLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.D
 		arrived.Wait(w)
 		if covered < bs {
 			// The pattern does not cover the whole block: preserve the
-			// uncovered bytes (read-modify-write).
+			// uncovered bytes (read-modify-write) by overlaying the
+			// fetched runs onto the block's current contents.
 			s.m2.PartialBlockRMW++
 			old := dd.ReadSync(w, s.f.LBN(b), s.f.SectorsPerBlock())
-			merged := overlayRuns(old, buf, runs, int64(b)*bs)
-			buf = merged
+			blockOff := int64(b) * bs
+			for _, r := range runs {
+				copy(old[r.FileOff-blockOff:r.FileOff-blockOff+r.Len], buf[r.FileOff-blockOff:r.FileOff-blockOff+r.Len])
+			}
+			dd.Recycle(buf)
+			buf = old
 		}
 		dd.WriteSync(w, s.f.LBN(b), buf)
+		dd.Recycle(buf)
 		// Durability is awaited via disk.Flush in serve; 'delivered' is
 		// only tracked for reads.
 	}
-}
-
-// overlayRuns merges run-covered bytes from fresh into old.
-func overlayRuns(old, fresh []byte, runs []hpf.Run, blockOff int64) []byte {
-	out := make([]byte, len(old))
-	copy(out, old)
-	for _, r := range runs {
-		copy(out[r.FileOff-blockOff:r.FileOff-blockOff+r.Len], fresh[r.FileOff-blockOff:r.FileOff-blockOff+r.Len])
-	}
-	return out
 }

@@ -8,12 +8,14 @@ import (
 	"ddio/internal/sim"
 )
 
-// Request is one I/O command issued to a disk. Reads fill Data with a
-// freshly allocated slice at completion; writes consume Data (which must
-// hold Count*SectorSize bytes). OnDone, if set, is invoked when the drive
-// reports completion — for writes this is when the data is accepted into
-// the drive's write-behind buffer, matching an "immediate report" drive;
-// use Flush to wait for media durability.
+// Request is one I/O command issued to a disk. Reads fill Data at
+// completion with a transfer buffer drawn from the disk's free list (the
+// receiver owns it; see Disk.Recycle); writes consume Data (which must
+// hold Count*SectorSize bytes and is copied, so the caller keeps
+// ownership). OnDone, if set, is invoked when the drive reports
+// completion — for writes this is when the data is accepted into the
+// drive's write-behind buffer, matching an "immediate report" drive; use
+// Flush to wait for media durability.
 type Request struct {
 	Write  bool
 	LBN    int64 // starting sector
@@ -57,7 +59,8 @@ type Disk struct {
 	queue   []*Request
 	queued  *sim.Cond
 	m       Metrics
-	storage map[int64][]byte // sector LBN -> SectorSize bytes
+	storage map[int64]sector // sector LBN -> stored bytes + backing ref
+	pool    Pool             // free-listed transfer buffers (see pool.go)
 }
 
 // New creates a disk and starts its server process on the engine. b may
@@ -74,7 +77,7 @@ func New(e *sim.Engine, name string, spec *Spec, b *bus.Bus, sched Scheduler) *D
 		bus:     b,
 		g:       newGeom(spec),
 		sched:   sched,
-		storage: make(map[int64][]byte),
+		storage: make(map[int64]sector),
 	}
 	d.cache = newRACache(d.g)
 	d.wb = wcache{g: d.g}
@@ -85,6 +88,10 @@ func New(e *sim.Engine, name string, spec *Spec, b *bus.Bus, sched Scheduler) *D
 
 // Metrics returns a copy of the disk's activity counters.
 func (d *Disk) Metrics() Metrics { return d.m }
+
+// PoolStats reports how many transfer buffers the disk handed out and
+// how many of those were reused from its free list (diagnostic).
+func (d *Disk) PoolStats() (gets, reuses int64) { return d.pool.gets, d.pool.reuses }
 
 // QueueLen returns the number of requests waiting (diagnostic).
 func (d *Disk) QueueLen() int { return len(d.queue) }

@@ -6,7 +6,7 @@ import (
 )
 
 // Headlines distills the paper's headline claims from regenerated
-// figures, so EXPERIMENTS.md can report them mechanically:
+// figures, so reports can quote them mechanically:
 //
 //   - maximum DDIO/TC speedup on each layout (paper: 9.0x random,
 //     16.2x contiguous);

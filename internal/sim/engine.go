@@ -40,6 +40,7 @@ func (t Time) Add(d time.Duration) Time {
 	return u
 }
 
+// String formats t as a duration since time zero (e.g. "1.5ms").
 func (t Time) String() string { return time.Duration(t).String() }
 
 // event is a single scheduled callback.
@@ -49,75 +50,42 @@ type event struct {
 	fn  func()
 }
 
-// eventQueue is a binary min-heap of events ordered by (t, seq).
-type eventQueue []event
-
-func (q eventQueue) less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q *eventQueue) push(ev event) {
-	*q = append(*q, ev)
-	i := len(*q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !(*q).less(i, parent) {
-			break
-		}
-		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
-		i = parent
-	}
-}
-
-func (q *eventQueue) pop() event {
-	h := *q
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = event{} // release closure for GC
-	*q = h[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		if l >= n {
-			break
-		}
-		c := l
-		if r < n && h.less(r, l) {
-			c = r
-		}
-		if !h.less(c, i) {
-			break
-		}
-		h[i], h[c] = h[c], h[i]
-		i = c
-	}
-	return top
-}
-
 // Engine is a discrete-event simulator instance.
 //
 // The zero value is not usable; create engines with NewEngine.
+//
+// Exactly one goroutine — the Run caller or one proc — executes
+// simulation code at any moment. That goroutine holds the "execution
+// token" and runs the event loop itself; when an event dispatches a proc,
+// the token moves to that proc with a single channel send, and when a
+// proc parks, its goroutine keeps the token and continues the event loop
+// in place. This halves the channel traffic of a hub-and-spoke scheduler
+// (one operation per handoff instead of two).
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	seq     int64
-	yield   chan struct{} // proc -> engine control handoff
-	procs   map[*Proc]struct{}
-	running bool
-	closed  bool
-	events  int64 // total events fired, for diagnostics
+	now      Time
+	queue    evq
+	seq      int64
+	xfer     *Proc           // proc to hand the token to after the current event
+	rootWake chan struct{}   // returns the token to the Run caller when the loop ends
+	cond     func(Time) bool // run-limit predicate for the current Run/RunUntil
+	procs    map[*Proc]struct{}
+	running  bool
+	closed   bool
+	events   int64 // total events fired, for diagnostics
 }
 
-// NewEngine returns a new engine with the clock at zero and no pending
-// events.
-func NewEngine() *Engine {
+// NewEngine returns a new engine with the clock at zero, no pending
+// events, and the default (calendar) event queue.
+func NewEngine() *Engine { return NewEngineWithQueue(CalendarQueue) }
+
+// NewEngineWithQueue returns a new engine using the given event-queue
+// implementation. Both kinds fire identical workloads in identical order;
+// the switch exists for A/B benchmarking.
+func NewEngineWithQueue(k QueueKind) *Engine {
 	return &Engine{
-		yield: make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
+		queue:    newQueue(k),
+		rootWake: make(chan struct{}),
+		procs:    make(map[*Proc]struct{}),
 	}
 }
 
@@ -128,7 +96,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Events() int64 { return e.events }
 
 // Pending reports the number of scheduled, not-yet-fired events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (t < Now) is an error and panics: it would silently corrupt causality.
@@ -156,40 +124,88 @@ func (e *Engine) After(d time.Duration, fn func()) {
 // BlockedProcs and Close). Run may be called again after it returns if
 // new events have been scheduled.
 func (e *Engine) Run() {
-	e.runWhile(func() bool { return true })
+	e.runWhile(func(Time) bool { return true })
 }
 
 // RunUntil executes events with timestamps <= t, then stops, leaving the
 // clock at min(t, time of last event). Events after t remain queued.
 func (e *Engine) RunUntil(t Time) {
-	e.runWhile(func() bool { return e.queue[0].t <= t })
-	if e.now < t && len(e.queue) == 0 {
+	e.runWhile(func(et Time) bool { return et <= t })
+	if e.now < t && e.queue.len() == 0 {
 		e.now = t
 	}
 }
 
-func (e *Engine) runWhile(cond func() bool) {
+func (e *Engine) runWhile(cond func(Time) bool) {
 	if e.running {
 		panic("sim: Run called re-entrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
-	for len(e.queue) > 0 && cond() {
+	e.cond = cond
+	if e.loop(nil) == tokenMoved {
+		// The token moved to a proc; wait for it to come back when the
+		// queue drains or the run limit is reached.
+		<-e.rootWake
+	}
+	e.cond = nil
+	e.running = false
+}
+
+// tokenState reports where the execution token went when loop returned.
+type tokenState int
+
+const (
+	// tokenDrained: the queue drained or the run limit was reached; the
+	// calling goroutine still holds the token.
+	tokenDrained tokenState = iota
+	// tokenMoved: the token was handed to another proc; the caller must
+	// wait for its own wake-up.
+	tokenMoved
+	// tokenSelf: the owner proc itself was dispatched; it may continue
+	// immediately without any channel operation.
+	tokenSelf
+)
+
+// loop fires events on the calling goroutine until the queue drains, the
+// run condition fails, or an event hands the execution token to a proc.
+// owner is the proc whose goroutine is running the loop (nil for the Run
+// caller): dispatching the owner itself short-circuits without touching
+// any channel, which makes a plain sleep-and-wake — the single most
+// common blocking pattern — free of context switches when no other work
+// intervenes.
+func (e *Engine) loop(owner *Proc) tokenState {
+	for e.queue.len() > 0 {
 		ev := e.queue.pop()
+		if !e.cond(ev.t) {
+			e.queue.push(ev) // same seq: original FIFO position is kept
+			return tokenDrained
+		}
 		e.now = ev.t
 		e.events++
 		ev.fn()
+		if p := e.xfer; p != nil {
+			e.xfer = nil
+			if p == owner {
+				return tokenSelf
+			}
+			p.resume <- struct{}{}
+			return tokenMoved
+		}
 	}
+	return tokenDrained
 }
 
-// dispatch hands control to p and waits until p blocks or finishes.
-// It must only be called from engine context (inside an event callback).
+// dispatch marks p as the next owner of the execution token. It must only
+// be called from event context; the event loop performs the actual
+// handoff after the current callback returns.
 func (e *Engine) dispatch(p *Proc) {
 	if p.dead {
 		return
 	}
-	p.resume <- struct{}{}
-	<-e.yield
+	if e.xfer != nil {
+		panic("sim: two procs dispatched by one event")
+	}
+	e.xfer = p
 }
 
 // wake schedules p to resume at the current instant, after any events
@@ -220,7 +236,7 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	e.queue = nil
+	e.queue.clear()
 	for p := range e.procs {
 		delete(e.procs, p)
 		p.killed = true

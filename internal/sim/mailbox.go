@@ -5,16 +5,17 @@ package sim
 // interconnect applies backpressure through its bandwidth pipes instead);
 // Get blocks the calling proc until a message is available.
 type Mailbox struct {
-	eng   *Engine
-	name  string
-	queue []any
-	waits []*Proc
-	puts  int64
+	eng       *Engine
+	name      string
+	parkLabel string // precomputed park reason (avoids per-wait concat)
+	queue     []any
+	waits     []*Proc
+	puts      int64
 }
 
 // NewMailbox returns an empty mailbox.
 func NewMailbox(e *Engine, name string) *Mailbox {
-	return &Mailbox{eng: e, name: name}
+	return &Mailbox{eng: e, name: name, parkLabel: "mailbox " + name}
 }
 
 // Put appends v and wakes the oldest waiting receiver, if any. It may be
@@ -34,7 +35,7 @@ func (m *Mailbox) Put(v any) {
 func (m *Mailbox) Get(p *Proc) any {
 	for len(m.queue) == 0 {
 		m.waits = append(m.waits, p)
-		p.park("mailbox " + m.name)
+		p.park(m.parkLabel)
 	}
 	v := m.queue[0]
 	m.queue[0] = nil

@@ -58,9 +58,12 @@ func (p *Proc) top(fn func(p *Proc)) {
 			}
 			panic(r)
 		}
-		// Normal completion: return control to the engine.
+		// Normal completion: this goroutine still holds the execution
+		// token, so keep firing events here until the token moves on.
 		delete(p.eng.procs, p)
-		p.eng.yield <- struct{}{}
+		if p.eng.loop(nil) != tokenMoved {
+			p.eng.rootWake <- struct{}{}
+		}
 	}()
 	<-p.resume // wait for first dispatch
 	fn(p)
@@ -68,12 +71,26 @@ func (p *Proc) top(fn func(p *Proc)) {
 
 // park blocks the calling proc until another party wakes it via
 // Engine.wake. state describes what the proc is waiting for.
+//
+// The parking goroutine holds the execution token, so instead of handing
+// control back to a central scheduler it keeps running the event loop in
+// place. The loop either resumes this very proc (no channel operation at
+// all), passes the token to the next dispatched proc (one channel send),
+// or — when the run ends — returns it to the Run caller.
 func (p *Proc) park(state string) {
 	p.state = state
-	p.eng.yield <- struct{}{}
-	_, ok := <-p.resume
-	if !ok || p.killed {
-		panic(procKilled{})
+	e := p.eng
+	switch e.loop(p) {
+	case tokenSelf:
+		// This proc was the next thing to run; continue in place.
+	case tokenDrained:
+		e.rootWake <- struct{}{}
+		fallthrough
+	case tokenMoved:
+		_, ok := <-p.resume
+		if !ok || p.killed {
+			panic(procKilled{})
+		}
 	}
 	p.state = ""
 	p.asleep = false

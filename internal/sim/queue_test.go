@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// popAll drains q and returns the (t, seq) sequence.
+func popAll(q evq) []event {
+	var out []event
+	for q.len() > 0 {
+		out = append(out, q.pop())
+	}
+	return out
+}
+
+// TestQueueEquivalenceRandom is the property that pins the calendar queue
+// to the heap: on randomized interleavings of pushes and pops — with
+// bursts that force ring resizes, same-instant ties that exercise the
+// FIFO seq ordering, and far-future events that land in the overflow
+// heap — both implementations produce the identical firing sequence,
+// event for event.
+func TestQueueEquivalenceRandom(t *testing.T) {
+	// Time deltas mix zero (FIFO ties), small (same bucket), medium
+	// (ring laps), and huge (overflow horizon) gaps.
+	deltas := []int64{0, 0, 1, 3, 100, 4096, 65536, 1 << 22, 1 << 34}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cal, heap := newCalendarQueue(), &heapQueue{}
+		var seq int64
+		low := Time(0) // last popped time: pushes may not precede it
+		for op := 0; op < 5000; op++ {
+			if cal.len() != heap.len() {
+				t.Fatalf("seed %d op %d: len %d vs %d", seed, op, cal.len(), heap.len())
+			}
+			// Bias towards pushes so the queues grow and resize, but keep
+			// popping throughout so cur/lastT advance through the ring.
+			if cal.len() == 0 || rng.Intn(3) > 0 {
+				burst := 1
+				if rng.Intn(20) == 0 {
+					burst = 50 + rng.Intn(200) // trigger grow resizes
+				}
+				for i := 0; i < burst; i++ {
+					seq++
+					tt := low + Time(deltas[rng.Intn(len(deltas))])
+					ev := event{t: tt, seq: seq}
+					cal.push(ev)
+					heap.push(ev)
+				}
+				continue
+			}
+			a, b := cal.pop(), heap.pop()
+			if a.t != b.t || a.seq != b.seq {
+				t.Fatalf("seed %d op %d: pop (%d,%d) vs (%d,%d)", seed, op, a.t, a.seq, b.t, b.seq)
+			}
+			low = a.t
+		}
+		ca, ha := popAll(cal), popAll(heap)
+		if len(ca) != len(ha) {
+			t.Fatalf("seed %d: drain lengths %d vs %d", seed, len(ca), len(ha))
+		}
+		for i := range ca {
+			if ca[i].t != ha[i].t || ca[i].seq != ha[i].seq {
+				t.Fatalf("seed %d: drain diverges at %d: (%d,%d) vs (%d,%d)",
+					seed, i, ca[i].t, ca[i].seq, ha[i].t, ha[i].seq)
+			}
+		}
+	}
+}
+
+// TestQueueSameInstantFIFO pins the tie-break rule in isolation: many
+// events at one instant fire in push order on both implementations.
+func TestQueueSameInstantFIFO(t *testing.T) {
+	for _, k := range []QueueKind{CalendarQueue, HeapQueue} {
+		q := newQueue(k)
+		for i := 1; i <= 100; i++ {
+			q.push(event{t: 42, seq: int64(i)})
+		}
+		for i := 1; i <= 100; i++ {
+			if ev := q.pop(); ev.seq != int64(i) {
+				t.Fatalf("kind %v: tie %d popped as seq %d", k, i, ev.seq)
+			}
+		}
+	}
+}
+
+// TestQueueShrinkAfterDrain exercises the shrink path: grow the ring with
+// a large burst, drain most of it, and check order is still exact.
+func TestQueueShrinkAfterDrain(t *testing.T) {
+	cal, heap := newCalendarQueue(), &heapQueue{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 1; i <= 3000; i++ {
+		ev := event{t: Time(rng.Int63n(1 << 30)), seq: int64(i)}
+		cal.push(ev)
+		heap.push(ev)
+	}
+	for cal.len() > 0 {
+		a, b := cal.pop(), heap.pop()
+		if a.t != b.t || a.seq != b.seq {
+			t.Fatalf("diverged: (%d,%d) vs (%d,%d)", a.t, a.seq, b.t, b.seq)
+		}
+	}
+	if heap.len() != 0 {
+		t.Fatal("heap not drained")
+	}
+}
+
+// TestEngineQueueKindsProduceIdenticalRuns runs a small random proc
+// workload — sleepers, a contended semaphore, zero-delay wakes — on one
+// engine per queue kind and requires the full (time, label) firing traces
+// to match. This is the engine-level determinism contract behind the
+// constructor switch: the queue is an implementation detail invisible to
+// any simulation.
+func TestEngineQueueKindsProduceIdenticalRuns(t *testing.T) {
+	trace := func(kind QueueKind) []string {
+		e := NewEngineWithQueue(kind)
+		defer e.Close()
+		var out []string
+		note := func(tag string) {
+			out = append(out, Time(e.Now()).String()+" "+tag)
+		}
+		rng := rand.New(rand.NewSource(31))
+		sem := NewSemaphore(e, "s", 2)
+		for i := 0; i < 40; i++ {
+			tag := string(rune('A' + i%26))
+			d := time.Duration(rng.Int63n(int64(5 * time.Microsecond)))
+			e.Go("p"+tag, func(p *Proc) {
+				p.Sleep(d)
+				sem.Acquire(p, 1)
+				note("acq" + tag)
+				p.Sleep(time.Duration(rng.Int63n(int64(time.Microsecond))))
+				note("rel" + tag)
+				sem.Release(1)
+			})
+			e.After(d/2, func() { note("ev" + tag) })
+		}
+		e.Run()
+		return out
+	}
+	a, b := trace(CalendarQueue), trace(HeapQueue)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// BenchmarkQueue measures raw push/pop throughput of both queue kinds on
+// a hold-model workload (pop one, push one a random distance ahead),
+// which is the steady state the engine presents.
+func BenchmarkQueue(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		kind QueueKind
+	}{{"calendar", CalendarQueue}, {"heap", HeapQueue}} {
+		for _, size := range []int{32, 512, 8192} {
+			b.Run(bc.name+"/"+strconv.Itoa(size), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				q := newQueue(bc.kind)
+				var seq int64
+				now := Time(0)
+				for i := 0; i < size; i++ {
+					seq++
+					q.push(event{t: now + Time(rng.Int63n(1<<20)), seq: seq})
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev := q.pop()
+					now = ev.t
+					seq++
+					q.push(event{t: now + Time(rng.Int63n(1<<20)), seq: seq})
+				}
+			})
+		}
+	}
+}

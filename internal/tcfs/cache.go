@@ -27,7 +27,11 @@ type buffer struct {
 
 func (b *buffer) reset(blockSize int) {
 	b.block = -1
-	b.data = make([]byte, blockSize)
+	if b.data == nil {
+		b.data = make([]byte, blockSize)
+	} else {
+		clear(b.data) // keep the frame; a fresh frame reads as zeros
+	}
 	b.written = nil
 	b.dirty = 0
 	b.state = bufFree
@@ -101,6 +105,7 @@ func (c *blockCache) getRead(p *sim.Proc, block int) *buffer {
 		c.s.m2.CacheMiss++
 		data := c.s.diskReadBlock(p, block)
 		copy(b.data, data)
+		c.s.diskFor(block).Recycle(data)
 		b.state = bufValid
 		b.lastUse = p.Now()
 		c.changed.Broadcast()
@@ -202,8 +207,9 @@ func (c *blockCache) acquire(p *sim.Proc) *buffer {
 func (c *blockCache) flush(p *sim.Proc, b *buffer) {
 	b.flushing = true
 	c.s.m2.Flushes++
-	data := make([]byte, c.blockSize)
-	copy(data, b.data)
+	dd := c.s.diskFor(b.block)
+	data := dd.Buffer(c.blockSize)
+	copy(data, b.data) // full-frame copy: no stale pool bytes survive
 	if b.dirty < c.blockSize {
 		c.s.m2.PartialRMW++
 		diskData := c.s.diskReadBlock(p, b.block)
@@ -212,9 +218,11 @@ func (c *blockCache) flush(p *sim.Proc, b *buffer) {
 				data[i] = diskData[i]
 			}
 		}
+		dd.Recycle(diskData)
 	}
 	dirtyAtSubmit := b.dirty
 	c.s.diskWriteBlock(p, b.block, data)
+	dd.Recycle(data)
 	// Bytes written while the flush was in flight stay dirty.
 	if dirtyAtSubmit == b.dirty {
 		b.dirty = 0

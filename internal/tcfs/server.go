@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ddio/internal/cluster"
+	"ddio/internal/disk"
 	"ddio/internal/pfs"
 	"ddio/internal/sim"
 )
@@ -38,7 +39,10 @@ type Server struct {
 	cache *blockCache
 	m2    Metrics
 
-	outstanding *sim.WaitGroup // in-flight handler threads
+	outstanding  *sim.WaitGroup // in-flight handler threads
+	handlerName  string         // precomputed proc names: one request per
+	prefetchName string         // virtual nanosecond makes Sprintf here hot
+	pfree        disk.Pool      // reply-payload free list (deterministic: one engine)
 }
 
 // NewServer builds the caching server for one IOP and starts its
@@ -46,6 +50,8 @@ type Server struct {
 // disk per CP.
 func NewServer(m *cluster.Machine, node *cluster.Node, f *pfs.File, nCP int, prm Params) *Server {
 	s := &Server{m: m, node: node, f: f, prm: prm}
+	s.handlerName = "tc-handler:" + node.String()
+	s.prefetchName = "tc-prefetch:" + node.String()
 	frames := prm.BuffersPerDiskPerCP * nCP * s.localDiskCount()
 	s.cache = newBlockCache(s, frames, f.BlockSize)
 	s.outstanding = sim.NewWaitGroup(m.Eng, "tc-outstanding:"+node.String(), 0)
@@ -85,7 +91,7 @@ func (s *Server) dispatch(p *sim.Proc) {
 		case *request:
 			s.node.CPU.UseFor(p, s.prm.ThreadCreate)
 			s.outstanding.Add(1)
-			s.m.Eng.Go(fmt.Sprintf("tc-handler:%s:b%d", s.node, r.block), func(h *sim.Proc) {
+			s.m.Eng.Go(s.handlerName, func(h *sim.Proc) {
 				s.handle(h, r)
 				s.outstanding.Done()
 			})
@@ -110,7 +116,9 @@ func (s *Server) handle(h *sim.Proc, r *request) {
 func (s *Server) handleRead(h *sim.Proc, r *request) {
 	s.m2.Reads++
 	b := s.cache.getRead(h, r.block)
-	payload := make([]byte, r.n)
+	// Reply staging buffer from the server's free list (contents are
+	// unspecified; the next line overwrites all r.n bytes).
+	payload := s.pfree.Get(r.n)
 	copy(payload, b.data[r.off:r.off+r.n])
 	s.cache.unpin(b)
 	// Reply with the data; it is DMA-deposited straight into the user
@@ -121,6 +129,7 @@ func (s *Server) handleRead(h *sim.Proc, r *request) {
 	s.node.CPU.UseFor(h, s.prm.ReplySendCPU)
 	s.m.SendFn(s.node, dst, len(payload), 0, func(sim.Time) {
 		copy(dst.Mem[memOff:], payload)
+		s.pfree.Put(payload) // bytes deposited; buffer reusable
 		_, end := dst.CPU.ReserveFor(s.prm.ReplyRecvCPU)
 		s.m.Eng.At(end, done.Done)
 	})
@@ -168,7 +177,7 @@ func (s *Server) maybePrefetch(h *sim.Proc, afterBlock int) {
 		s.node.CPU.UseFor(h, s.prm.CacheAccessCPU)
 		block := nb
 		s.outstanding.Add(1)
-		s.m.Eng.Go(fmt.Sprintf("tc-prefetch:%s:b%d", s.node, block), func(pf *sim.Proc) {
+		s.m.Eng.Go(s.prefetchName, func(pf *sim.Proc) {
 			b := s.cache.getRead(pf, block)
 			s.cache.unpin(b)
 			s.outstanding.Done()
@@ -193,15 +202,19 @@ func (s *Server) handleSync(h *sim.Proc, r *syncReq) {
 	})
 }
 
+// diskFor returns the disk holding the given file block.
+func (s *Server) diskFor(block int) *disk.Disk { return s.f.Disks[s.f.DiskOf(block)] }
+
 // diskReadBlock performs a synchronous block read on behalf of a handler.
+// The returned buffer comes from the disk's free list; the caller should
+// Recycle it (on the same disk, see diskFor) once done with the contents.
 func (s *Server) diskReadBlock(p *sim.Proc, block int) []byte {
-	d := s.f.Disks[s.f.DiskOf(block)]
+	d := s.diskFor(block)
 	return d.ReadSync(p, s.f.LBN(block), s.f.SectorsPerBlock())
 }
 
 // diskWriteBlock performs a synchronous block write on behalf of a
 // handler (the drive's write-behind makes it fast for sequential runs).
 func (s *Server) diskWriteBlock(p *sim.Proc, block int, data []byte) {
-	d := s.f.Disks[s.f.DiskOf(block)]
-	d.WriteSync(p, s.f.LBN(block), data)
+	s.diskFor(block).WriteSync(p, s.f.LBN(block), data)
 }
