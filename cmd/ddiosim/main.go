@@ -1,9 +1,13 @@
 // Command ddiosim runs a single disk-directed-I/O experiment and prints
-// its throughput and substrate metrics.
+// its throughput and substrate metrics. With -sweep it runs a whole
+// declarative scale sweep (a preset name or JSON spec file — the same
+// specs cmd/figures runs; see EXPERIMENTS.md) using this command's
+// -trials/-j/-seed/-filemb flags.
 //
 // Example:
 //
 //	ddiosim -method ddio-sort -pattern rc -layout random -record 8
+//	ddiosim -sweep ext-smoke -sweepjson ext-smoke.json
 package main
 
 import (
@@ -21,6 +25,8 @@ func main() {
 	method := flag.String("method", "tc", "file system: tc | ddio | ddio-sort | 2phase")
 	pattern := flag.String("pattern", "ra", "access pattern (ra rn rb rc rnb rbb rcb rbc rcc rcn, w...)")
 	layout := flag.String("layout", "random", "disk layout: contiguous | random")
+	sweep := flag.String("sweep", "", "run a sweep spec (preset name or JSON file) instead of a single experiment")
+	sweepJSON := flag.String("sweepjson", "", "with -sweep: also write the machine-readable sweep result to this file")
 	flag.IntVar(&cfg.NCP, "cps", cfg.NCP, "number of compute processors")
 	flag.IntVar(&cfg.NIOP, "iops", cfg.NIOP, "number of I/O processors (one bus each)")
 	flag.IntVar(&cfg.NDisks, "disks", cfg.NDisks, "number of disks")
@@ -36,6 +42,41 @@ func main() {
 	flag.BoolVar(&cfg.TC.StridedRequests, "strided", false, "strided traditional-caching requests (paper future work)")
 	noDiskCache := flag.Bool("nodiskcache", false, "disable the drive's read-ahead/write-behind cache")
 	flag.Parse()
+
+	if *sweep != "" {
+		opt := exp.Options{
+			Trials:    *trials,
+			FileBytes: *fileMB * exp.MiB,
+			Seed:      cfg.Seed,
+			Verify:    cfg.Verify,
+			Workers:   *workers,
+		}
+		if *verbose {
+			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		spec, err := exp.ResolveSweep(*sweep)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := spec.RunFull(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Table.Format())
+		fmt.Printf("max cv %.3f\n", res.Table.MaxCV())
+		if *sweepJSON != "" {
+			data, err := res.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*sweepJSON, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *sweepJSON)
+		}
+		return
+	}
+
 	if *noDiskCache {
 		spec := *cfg.Disk
 		spec.CacheSegmentSectors = 0

@@ -1,6 +1,6 @@
 // Command figures regenerates the paper's evaluation: Table 1 and
-// Figures 3–8. Output is aligned text (one table per figure); -csv adds
-// machine-readable files.
+// Figures 3–8. Output is aligned text (one table per figure); -csv and
+// -json add machine-readable files.
 //
 // The paper used five trials of a 10 MB file; -trials and -filemb trade
 // fidelity for time (shapes are stable well below the defaults). Every
@@ -8,11 +8,20 @@
 // worker pool; tables are bit-identical for any -j, only the progress
 // line order changes.
 //
+// -sweep runs a declarative scale sweep instead: a built-in preset by
+// name (-sweeps lists them; the fig5-paper…fig8-paper presets emit
+// exactly the Figure 5–8 tables, the *-ext presets push the same axes
+// past the paper's 16 CPs/IOPs/disks) or a JSON spec file by path.
+// EXPERIMENTS.md documents every preset and the file format.
+//
 // Example:
 //
 //	figures -fig 3 -trials 5
 //	figures -all -trials 3 -filemb 10 -out results/
 //	figures -all -j 16
+//	figures -sweep fig5-paper            # == -fig 5, via the sweep layer
+//	figures -sweep fig7-ext -json -j 16  # extended axes, JSON artifact
+//	figures -sweep my-sweep.json
 package main
 
 import (
@@ -29,6 +38,8 @@ import (
 func main() {
 	fig := flag.String("fig", "", "which figure to regenerate: 3,4,5,6,7,8 or table1 (empty with -all for everything)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
+	sweep := flag.String("sweep", "", "run sweep specs instead: comma-separated preset names or JSON spec files")
+	listSweeps := flag.Bool("sweeps", false, "list the built-in sweep presets and exit")
 	trials := flag.Int("trials", 5, "independent trials per data point")
 	fileMB := flag.Int64("filemb", 10, "file size in MiB")
 	seed := flag.Int64("seed", 42, "base random seed")
@@ -36,8 +47,17 @@ func main() {
 	workers := flag.Int("j", 0, "concurrent experiment runs (0 = GOMAXPROCS); tables are identical for any -j")
 	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
 	csv := flag.Bool("csv", false, "also write CSV files")
-	out := flag.String("out", "", "directory for CSV output (default: current)")
+	jsonOut := flag.Bool("json", false, "also write JSON files (sweeps carry per-cell trial statistics)")
+	out := flag.String("out", "", "directory for CSV/JSON output (default: current)")
 	flag.Parse()
+
+	if *listSweeps {
+		fmt.Printf("%-12s %-8s %-22s %s\n", "preset", "axis", "values", "title")
+		for _, s := range exp.Presets() {
+			fmt.Printf("%-12s %-8s %-22s %s\n", s.Name, s.Axis, trimJoin(s.Values), s.Title)
+		}
+		return
+	}
 
 	opt := exp.Options{
 		Trials:    *trials,
@@ -50,18 +70,6 @@ func main() {
 		start := time.Now()
 		opt.Progress = func(line string) {
 			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), line)
-		}
-	}
-
-	which := map[string]bool{}
-	if *all || (*fig == "" && !*all) {
-		for _, f := range []string{"table1", "3", "4", "5", "6", "7", "8"} {
-			which[f] = true
-		}
-	}
-	for _, f := range strings.Split(*fig, ",") {
-		if f != "" {
-			which[strings.TrimPrefix(f, "fig")] = true
 		}
 	}
 
@@ -79,6 +87,68 @@ func main() {
 		}
 	}
 
+	if *sweep != "" {
+		for _, name := range strings.Split(*sweep, ",") {
+			if name == "" {
+				continue
+			}
+			spec, err := exp.ResolveSweep(name)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := spec.RunFull(opt)
+			if err != nil {
+				fatal(err)
+			}
+			emit(res.Table)
+			if *jsonOut {
+				data, err := res.JSON()
+				if err != nil {
+					fatal(err)
+				}
+				// Sweep results are written under the spec name, not the
+				// table ID: fig5-paper's table carries the historical ID
+				// "fig5", and fig5.json is the bare-Table schema that
+				// `-fig 5 -json` emits — a different format.
+				path := filepath.Join(*out, spec.Name+".json")
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+		return
+	}
+
+	emitJSON := func(tables ...*exp.Table) {
+		if !*jsonOut {
+			return
+		}
+		for _, t := range tables {
+			data, err := t.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*out, t.ID+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	which := map[string]bool{}
+	if *all || (*fig == "" && !*all) {
+		for _, f := range []string{"table1", "3", "4", "5", "6", "7", "8"} {
+			which[f] = true
+		}
+	}
+	for _, f := range strings.Split(*fig, ",") {
+		if f != "" {
+			which[strings.TrimPrefix(f, "fig")] = true
+		}
+	}
+
 	if which["table1"] {
 		fmt.Println(exp.Table1())
 	}
@@ -93,6 +163,7 @@ func main() {
 		}
 		headlines = h
 		emit(tables...)
+		emitJSON(tables...)
 		which["3"], which["4"] = false, false
 	}
 	type gen2 func(exp.Options) ([]*exp.Table, error)
@@ -118,17 +189,31 @@ func main() {
 				fatal(err)
 			}
 			emit(tables...)
+			emitJSON(tables...)
 		} else {
 			t, err := g.fn1(opt)
 			if err != nil {
 				fatal(err)
 			}
 			emit(t)
+			emitJSON(t)
 		}
 	}
 	if headlines != nil {
 		fmt.Println(headlines.Format())
 	}
+}
+
+// trimJoin renders an int slice compactly for the preset listing.
+func trimJoin(vs []int) string {
+	var b strings.Builder
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
 }
 
 func fatal(err error) {

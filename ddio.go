@@ -74,6 +74,16 @@ type Table = exp.Table
 // Options control figure regeneration (trials, file size, seed).
 type Options = exp.Options
 
+// SweepSpec declaratively describes a machine/workload scale sweep: one
+// axis (CPs, IOPs, disks, or record size) crossed with a pattern ×
+// method grid. Figures 5–8 are built-in specs; see SweepPresets and
+// EXPERIMENTS.md.
+type SweepSpec = exp.SweepSpec
+
+// SweepResult is the machine-readable outcome of one executed sweep:
+// the spec, the rendered table, and per-cell trial statistics.
+type SweepResult = exp.SweepResult
+
 // DefaultConfig returns the paper's Table 1 configuration: 16 CPs and 16
 // IOPs on a 6×6 torus, 16 HP 97560 disks on one SCSI bus per IOP, and a
 // 10 MB file in 8 KB blocks.
@@ -143,3 +153,15 @@ func Figure8(o Options) (*Table, error) { return exp.Figure8(o) }
 
 // Table1 renders the simulator parameters (the paper's Table 1).
 func Table1() string { return exp.Table1() }
+
+// SweepPresets returns the built-in sweep specs: the fig5-paper…
+// fig8-paper presets behind Figure5…Figure8 and the extended presets
+// that push those figures past the paper's 16 CPs/IOPs/disks.
+func SweepPresets() []*SweepSpec { return exp.Presets() }
+
+// LookupSweepPreset returns a fresh copy of the named built-in preset.
+func LookupSweepPreset(name string) (*SweepSpec, bool) { return exp.LookupPreset(name) }
+
+// ParseSweepSpec parses and validates a JSON sweep-spec file (see
+// EXPERIMENTS.md for the format).
+func ParseSweepSpec(data []byte) (*SweepSpec, error) { return exp.ParseSweepSpec(data) }

@@ -2,7 +2,9 @@
 // machine from a Config (Table 1 defaults), runs one whole-file transfer
 // under the selected file system, verifies the data end to end, and
 // reports throughput plus substrate metrics. The figure generators that
-// regenerate the paper's evaluation live in figures.go.
+// regenerate the paper's evaluation live in figures.go; the declarative
+// scale-sweep layer (SweepSpec, of which Figures 5–8 are preset
+// instances) lives in sweep.go and presets.go.
 package exp
 
 import (
@@ -38,6 +40,7 @@ const (
 	TwoPhase
 )
 
+// String returns the method's display name as figures label it.
 func (m Method) String() string {
 	switch m {
 	case TraditionalCaching:
@@ -72,20 +75,20 @@ func ParseMethod(s string) (Method, error) {
 // Config describes one experiment: machine shape, file, pattern, layout,
 // and method, with all substrate parameters exposed for ablations.
 type Config struct {
-	Method  Method
+	Method  Method // file system under test
 	Pattern string // paper shorthand, e.g. "ra", "rcb", "wb"
 
-	NCP    int
-	NIOP   int
-	NDisks int
+	NCP    int // compute processors
+	NIOP   int // I/O processors, one SCSI bus each
+	NDisks int // disks, distributed round-robin over the IOPs
 
-	FileBytes  int64
-	BlockSize  int
-	RecordSize int
-	Layout     pfs.LayoutKind
+	FileBytes  int64          // whole-file transfer size
+	BlockSize  int            // file-system block size
+	RecordSize int            // application record size
+	Layout     pfs.LayoutKind // physical block placement
 
-	Seed   int64
-	Verify bool
+	Seed   int64 // root seed for layout and network jitter streams
+	Verify bool  // verify every byte end to end after the run
 
 	// Disk is the drive model. The Spec is shared by every disk of the
 	// run — and, when a Config is replicated across trials, by
@@ -93,14 +96,14 @@ type Config struct {
 	// once experiments start (mutate a copy, as cmd/ddiosim does).
 	Disk         *disk.Spec
 	DiskSched    disk.Scheduler // nil = FCFS
-	Net          netsim.Config
-	BusBandwidth float64
-	BusOverhead  time.Duration
-	BarrierCost  time.Duration
+	Net          netsim.Config  // torus interconnect parameters
+	BusBandwidth float64        // SCSI bus bandwidth, bytes/s
+	BusOverhead  time.Duration  // per-transfer bus arbitration cost
+	BarrierCost  time.Duration  // collective-operation entry cost
 
-	TC tcfs.Params
-	DD core.Params
-	TP twophase.Params
+	TC tcfs.Params     // traditional-caching tuning
+	DD core.Params     // disk-directed I/O tuning
+	TP twophase.Params // two-phase I/O tuning
 }
 
 // DefaultConfig returns the paper's Table 1 configuration: 16 CPs, 16

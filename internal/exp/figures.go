@@ -13,10 +13,10 @@ import (
 // paper itself notes 10 MB was chosen over 100/1000 MB to save
 // simulation time, with qualitatively similar results).
 type Options struct {
-	Trials    int
-	FileBytes int64
-	Seed      int64
-	Verify    bool
+	Trials    int   // independent trials per data point
+	FileBytes int64 // transfer size per run
+	Seed      int64 // base seed; trial seeds derive from it
+	Verify    bool  // verify every byte in every run
 	// Workers bounds how many experiment runs execute concurrently;
 	// <= 0 selects GOMAXPROCS. Tables are bit-identical for any worker
 	// count (results are slotted by position, seeds by trial index).
@@ -163,95 +163,34 @@ func Figure4(o Options) ([]*Table, error) {
 	return []*Table{a, b}, nil
 }
 
-// sweepTable measures a machine-shape sweep for the ra/rn/rb/rc patterns
-// under TC and DDIO (Figures 5–8). mutate applies the swept value to the
-// config; rows are labeled with the swept values.
-func sweepTable(o Options, id, title, rowLabel string, values []int,
-	layout pfs.LayoutKind, ddioMethod Method, mutate func(*Config, int)) (*Table, error) {
-	patterns := []string{"ra", "rn", "rb", "rc"}
-	methods := []Method{ddioMethod, TraditionalCaching}
-	t := &Table{ID: id, Title: title, RowLabel: rowLabel}
-	for _, m := range methods {
-		for _, p := range patterns {
-			t.Cols = append(t.Cols, fmt.Sprintf("%s %s", m, p))
-		}
+// runPreset runs a named built-in sweep preset (the machine-shape sweeps
+// of Figures 5–8 are presets; see presets.go and sweep.go).
+func runPreset(o Options, name string) (*Table, error) {
+	s, ok := LookupPreset(name)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown sweep preset %q", name)
 	}
-	t.Cols = append(t.Cols, "max-bw")
-	cellsPerRow := len(methods) * len(patterns)
-	trials := o.trials()
-	cfgs := make([]Config, 0, len(values)*cellsPerRow*trials)
-	t.Cells = make([][]Cell, len(values))
-	for vi, v := range values {
-		t.Rows = append(t.Rows, fmt.Sprintf("%d", v))
-		t.Cells[vi] = make([]Cell, cellsPerRow+1)
-		var ceiling float64
-		for _, m := range methods {
-			for _, p := range patterns {
-				cfg := o.base()
-				cfg.Layout = layout
-				cfg.RecordSize = 8192
-				cfg.Pattern = p
-				cfg.Method = m
-				mutate(&cfg, v)
-				ceiling = cfg.MaxBandwidthMBps()
-				for k := 0; k < trials; k++ {
-					c := cfg
-					c.Seed = trialSeed(cfg.Seed, k)
-					cfgs = append(cfgs, c)
-				}
-			}
-		}
-		t.Cells[vi][cellsPerRow] = Cell{Mean: ceiling}
-	}
-	r := o.runner()
-	aggs := newCellAggs(len(values)*cellsPerRow, trials)
-	_, err := r.RunAll(cfgs, func(idx int, res *Result) {
-		cell, trial := idx/trials, idx%trials
-		if aggs[cell].done(trial, res) {
-			vi, ci := cell/cellsPerRow, cell%cellsPerRow
-			t.Cells[vi][ci] = aggs[cell].cell()
-			r.progressLocked("%s %s=%s %-4s %-9v %7.2f MB/s (cv %.3f)", id, rowLabel,
-				t.Rows[vi], patterns[ci%len(patterns)], methods[ci/len(patterns)],
-				t.Cells[vi][ci].Mean, t.Cells[vi][ci].CV)
-		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", id, err)
-	}
-	return t, nil
+	return s.Run(o)
 }
 
-// Figure5 reproduces Figure 5: throughput as the number of CPs varies
-// (contiguous layout, 8 KB records, 16 IOPs and disks fixed).
-func Figure5(o Options) (*Table, error) {
-	return sweepTable(o, "fig5", "throughput vs number of CPs (contiguous, 8 KB records)",
-		"CPs", []int{1, 2, 4, 8, 16}, pfs.Contiguous, DiskDirected,
-		func(c *Config, v int) { c.NCP = v })
-}
+// Figure5 reproduces the paper's Figure 5: throughput as the number of
+// CPs varies (contiguous layout, 8 KB records, 16 IOPs and disks fixed).
+// It runs the fig5-paper sweep preset; fig5-ext extends the axis to 64
+// CPs (see presets.go and EXPERIMENTS.md).
+func Figure5(o Options) (*Table, error) { return runPreset(o, "fig5-paper") }
 
 // Figure6 reproduces Figure 6: the number of IOPs (and busses) varies
-// while 16 disks are redistributed among them.
-func Figure6(o Options) (*Table, error) {
-	return sweepTable(o, "fig6", "throughput vs number of IOPs/busses (16 disks, contiguous, 8 KB records)",
-		"IOPs", []int{1, 2, 4, 8, 16}, pfs.Contiguous, DiskDirected,
-		func(c *Config, v int) { c.NIOP = v })
-}
+// while 16 disks are redistributed among them (the fig6-paper preset).
+func Figure6(o Options) (*Table, error) { return runPreset(o, "fig6-paper") }
 
 // Figure7 reproduces Figure 7: the number of disks varies on a single
-// IOP/bus, contiguous layout.
-func Figure7(o Options) (*Table, error) {
-	return sweepTable(o, "fig7", "throughput vs number of disks (1 IOP/bus, contiguous, 8 KB records)",
-		"disks", []int{1, 2, 4, 8, 16, 32}, pfs.Contiguous, DiskDirected,
-		func(c *Config, v int) { c.NIOP = 1; c.NDisks = v })
-}
+// IOP/bus, contiguous layout (the fig7-paper preset).
+func Figure7(o Options) (*Table, error) { return runPreset(o, "fig7-paper") }
 
 // Figure8 reproduces Figure 8: as Figure 7 but on the random-blocks
-// layout (disk-directed I/O presorts there, as in the paper).
-func Figure8(o Options) (*Table, error) {
-	return sweepTable(o, "fig8", "throughput vs number of disks (1 IOP/bus, random-blocks, 8 KB records)",
-		"disks", []int{1, 2, 4, 8, 16, 32}, pfs.RandomBlocks, DiskDirectedSort,
-		func(c *Config, v int) { c.NIOP = 1; c.NDisks = v })
-}
+// layout, where disk-directed I/O presorts, as in the paper (the
+// fig8-paper preset).
+func Figure8(o Options) (*Table, error) { return runPreset(o, "fig8-paper") }
 
 // Table1 renders the simulator parameters (the paper's Table 1).
 func Table1() string {

@@ -30,10 +30,20 @@ func TestPatternTableShape(t *testing.T) {
 	}
 }
 
+// tinySweepSpec is a minimal two-value CP sweep for shape and
+// determinism tests.
+func tinySweepSpec() *SweepSpec {
+	return &SweepSpec{
+		Name: "figS", Title: "test", Axis: AxisCPs, Values: []int{1, 2},
+		IOPs: 4, Disks: 4,
+		Layout: "contiguous", Methods: []string{"ddio", "tc"},
+		Patterns: []string{"ra", "rn", "rb", "rc"},
+	}
+}
+
 func TestSweepTableShape(t *testing.T) {
 	o := tinyOptions()
-	tab, err := sweepTable(o, "figS", "test", "CPs", []int{1, 2}, pfs.Contiguous,
-		DiskDirected, func(c *Config, v int) { c.NCP = v; c.NIOP, c.NDisks = 4, 4 })
+	tab, err := tinySweepSpec().Run(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +56,9 @@ func TestSweepTableShape(t *testing.T) {
 	}
 	if mb, ok := tab.Cell("1", "max-bw"); !ok || mb.Mean <= 0 {
 		t.Fatalf("max-bw cell %v %v", mb, ok)
+	}
+	if tab.RowLabel != "CPs" || tab.ID != "figS" {
+		t.Fatalf("row label %q, id %q", tab.RowLabel, tab.ID)
 	}
 }
 

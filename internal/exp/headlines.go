@@ -16,11 +16,11 @@ import (
 //   - the contiguous-vs-random throughput ratio (paper: ~5x).
 type Headlines struct {
 	MaxSpeedupRandom   float64 // best DDIO+sort / TC, Figure 3
-	MaxSpeedupRandomAt string
+	MaxSpeedupRandomAt string  // pattern/record-size cell of that best
 	MaxSpeedupContig   float64 // best DDIO / TC, Figure 4
-	MaxSpeedupContigAt string
+	MaxSpeedupContigAt string  // pattern/record-size cell of that best
 	PresortGainMin     float64 // (DDIO+sort / DDIO) - 1 across Figure 3
-	PresortGainMax     float64
+	PresortGainMax     float64 // largest presort gain across Figure 3
 	PeakFraction       float64 // best DDIO contiguous / hardware ceiling
 	ContigOverRandom   float64 // median DDIO contiguous / DDIO+sort random
 }

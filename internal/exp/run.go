@@ -17,18 +17,18 @@ import (
 
 // DiskTotals sums the per-disk metrics of a run.
 type DiskTotals struct {
-	Reads, Writes          int64
-	CacheHits, CacheStream int64
-	Seeks                  int64
-	SeekCylinders          int64
-	QueueWait              time.Duration
-	Busy                   time.Duration
+	Reads, Writes          int64         // media transfers
+	CacheHits, CacheStream int64         // read-ahead segment hits / streamed sectors
+	Seeks                  int64         // arm movements
+	SeekCylinders          int64         // cylinders crossed, summed
+	QueueWait              time.Duration // total request time spent queued
+	Busy                   time.Duration // total mechanism busy time
 }
 
 // Result reports one experiment run.
 type Result struct {
-	Config  Config
-	Elapsed time.Duration
+	Config  Config        // the configuration that produced this result
+	Elapsed time.Duration // simulated wall-clock time of the transfer
 	// MBps is the paper's reported number: file bytes over elapsed time
 	// in MiB/s; for the ra pattern this is already the "normalized by
 	// number of CPs" value since every CP moved a whole file copy.
@@ -36,19 +36,19 @@ type Result struct {
 	// AggMBps counts all application bytes actually moved (ra moves
 	// NCP copies).
 	AggMBps    float64
-	MovedBytes int64
+	MovedBytes int64 // application bytes moved across all CPs
 
-	Disk     DiskTotals
-	BusBusy  time.Duration
-	NetMsgs  int64
-	NetBytes int64
+	Disk     DiskTotals    // summed per-disk metrics
+	BusBusy  time.Duration // total SCSI bus busy time
+	NetMsgs  int64         // interconnect messages
+	NetBytes int64         // interconnect payload bytes
 	IOPBusy  time.Duration // total IOP CPU busy time
 	CPBusy   time.Duration // total CP CPU busy time
-	TC       tcfs.Metrics
-	DD       core.Metrics
-	Events   int64
+	TC       tcfs.Metrics  // traditional-caching counters (TC runs)
+	DD       core.Metrics  // disk-directed counters (DDIO runs)
+	Events   int64         // simulation events fired
 
-	VerifyErrors int
+	VerifyErrors int // blocks/chunks that failed end-to-end verification
 }
 
 // Run executes one experiment.
@@ -249,10 +249,10 @@ func verify(cfg Config, pat hpf.Pattern, dec *hpf.Decomp, f *pfs.File, m *cluste
 
 // Trial is the aggregate of replicated runs of one configuration.
 type Trial struct {
-	Results []*Result
-	MBps    []float64
-	Mean    float64
-	CV      float64
+	Results []*Result // per-trial results, in trial order
+	MBps    []float64 // per-trial throughput, in trial order
+	Mean    float64   // mean throughput over trials
+	CV      float64   // coefficient of variation over trials
 }
 
 // Trials replicates cfg n times with derived seeds (varying the random

@@ -33,14 +33,16 @@ func TestPatternTableParallelBitIdentical(t *testing.T) {
 	}
 }
 
-// The same contract for the machine-shape sweeps (a scaled Figure 5).
+// The same contract for the machine-shape sweeps (a scaled Figure 5,
+// expressed as a sweep spec).
 func TestSweepTableParallelBitIdentical(t *testing.T) {
-	mutate := func(c *Config, v int) { c.NCP = v; c.NIOP, c.NDisks = 4, 4 }
-	seq, err := sweepTable(parOptions(1), "figS", "test", "CPs", []int{1, 4}, pfs.Contiguous, DiskDirected, mutate)
+	spec := tinySweepSpec()
+	spec.Values = []int{1, 4}
+	seq, err := spec.Run(parOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := sweepTable(parOptions(8), "figS", "test", "CPs", []int{1, 4}, pfs.Contiguous, DiskDirected, mutate)
+	par, err := spec.Run(parOptions(8))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,335 @@
+package exp
+
+// sweep.go is the declarative scale-sweep layer: a SweepSpec names the
+// swept axis (CPs, IOPs, disks, or record size), the values to sweep,
+// and the fixed machine/workload shape around it, and expands into the
+// same (cell × trial) config grid the hard-coded figure generators used
+// to build by hand. Figures 5–8 are now instances of specs (see
+// presets.go); extended presets push the same figures past the paper's
+// 1994 hardware envelope. Specs serialize to/from JSON, so experiments
+// can be defined in files and re-run exactly (EXPERIMENTS.md documents
+// every preset and the file format).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ddio/internal/hpf"
+	"ddio/internal/pfs"
+	"ddio/internal/stats"
+)
+
+// Axis names accepted by SweepSpec.Axis.
+const (
+	AxisCPs    = "cps"    // number of compute processors
+	AxisIOPs   = "iops"   // number of I/O processors (one bus each)
+	AxisDisks  = "disks"  // number of disks
+	AxisRecord = "record" // record size in bytes
+)
+
+// axisInfo maps an axis name to its table row label and the config field
+// it sweeps.
+var axisInfo = map[string]struct {
+	rowLabel string
+	apply    func(*Config, int)
+}{
+	AxisCPs:    {"CPs", func(c *Config, v int) { c.NCP = v }},
+	AxisIOPs:   {"IOPs", func(c *Config, v int) { c.NIOP = v }},
+	AxisDisks:  {"disks", func(c *Config, v int) { c.NDisks = v }},
+	AxisRecord: {"record", func(c *Config, v int) { c.RecordSize = v }},
+}
+
+// SweepSpec declaratively describes one machine/workload sweep: one
+// swept axis crossed with a pattern × method grid, everything else held
+// fixed. A spec expands into the experiment runner's (cell × trial)
+// config grid and renders as the same row-per-value table the paper's
+// Figures 5–8 use, so the canonical figures are just specs whose axes
+// stop at the paper's ranges.
+//
+// The zero values of the optional fields defer to the paper's Table 1
+// machine and the caller's Options, which is what keeps the paper-range
+// presets bit-identical to the original hard-coded generators.
+type SweepSpec struct {
+	// Name identifies the spec (preset registry key, CLI argument).
+	Name string `json:"name"`
+	// ID is the table ID; it defaults to Name. The paper presets set it
+	// to the figure ID ("fig5") so their output matches the original
+	// figure tables byte for byte.
+	ID string `json:"id,omitempty"`
+	// Title is the table title line.
+	Title string `json:"title"`
+	// Extends names the paper figure this spec reproduces or extends
+	// (documentation only).
+	Extends string `json:"extends,omitempty"`
+	// Note, if set, is appended to the rendered table.
+	Note string `json:"note,omitempty"`
+
+	// Axis is the swept parameter: "cps", "iops", "disks" or "record".
+	Axis string `json:"axis"`
+	// Values are the axis values, one table row each.
+	Values []int `json:"values"`
+
+	// Layout is the disk layout ("contiguous" or "random-blocks").
+	Layout string `json:"layout"`
+	// Methods are the file systems under test, in column-group order
+	// (names as ParseMethod accepts: "tc", "ddio", "ddio-sort", "2phase").
+	Methods []string `json:"methods"`
+	// Patterns are the access patterns, in column order within each
+	// method group (paper shorthand: "ra", "rb", "rc", ...).
+	Patterns []string `json:"patterns"`
+	// Record is the fixed record size in bytes; 0 means the paper's
+	// 8 KB. Ignored when Axis is "record".
+	Record int `json:"record,omitempty"`
+
+	// CPs, IOPs, Disks fix the non-swept machine shape; 0 defers to the
+	// Table 1 defaults (16 each).
+	CPs   int `json:"cps,omitempty"`   // fixed compute processors
+	IOPs  int `json:"iops,omitempty"`  // fixed I/O processors (one bus each)
+	Disks int `json:"disks,omitempty"` // fixed disks
+
+	// Trials and FileMB, when positive, override the caller's Options —
+	// used by smoke presets that must stay cheap no matter the flags.
+	Trials int   `json:"trials,omitempty"` // trials per data point
+	FileMB int64 `json:"filemb,omitempty"` // file size in MiB
+}
+
+// Validate checks internal consistency of the spec.
+func (s *SweepSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("exp: sweep spec needs a name")
+	case len(s.Values) == 0:
+		return fmt.Errorf("exp: sweep %q has no axis values", s.Name)
+	case len(s.Methods) == 0:
+		return fmt.Errorf("exp: sweep %q has no methods", s.Name)
+	case len(s.Patterns) == 0:
+		return fmt.Errorf("exp: sweep %q has no patterns", s.Name)
+	case s.CPs < 0 || s.IOPs < 0 || s.Disks < 0 || s.Record < 0 || s.Trials < 0 || s.FileMB < 0:
+		return fmt.Errorf("exp: sweep %q has negative shape parameters", s.Name)
+	}
+	if _, ok := axisInfo[s.Axis]; !ok {
+		return fmt.Errorf("exp: sweep %q: unknown axis %q (want cps, iops, disks or record)", s.Name, s.Axis)
+	}
+	for _, v := range s.Values {
+		if v < 1 {
+			return fmt.Errorf("exp: sweep %q: axis value %d out of range", s.Name, v)
+		}
+	}
+	if _, err := pfs.ParseLayout(s.Layout); err != nil {
+		return fmt.Errorf("exp: sweep %q: %w", s.Name, err)
+	}
+	for _, m := range s.Methods {
+		if _, err := ParseMethod(m); err != nil {
+			return fmt.Errorf("exp: sweep %q: %w", s.Name, err)
+		}
+	}
+	for _, p := range s.Patterns {
+		if _, err := hpf.ParsePattern(p); err != nil {
+			return fmt.Errorf("exp: sweep %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// TableID returns the ID the spec's table will carry (ID, defaulting to
+// Name).
+func (s *SweepSpec) TableID() string {
+	if s.ID != "" {
+		return s.ID
+	}
+	return s.Name
+}
+
+// options applies the spec's own Trials/FileMB overrides to the caller's
+// options.
+func (s *SweepSpec) options(o Options) Options {
+	if s.Trials > 0 {
+		o.Trials = s.Trials
+	}
+	if s.FileMB > 0 {
+		o.FileBytes = s.FileMB * MiB
+	}
+	return o
+}
+
+// record returns the fixed record size (the paper's 8 KB by default).
+func (s *SweepSpec) record() int {
+	if s.Record > 0 {
+		return s.Record
+	}
+	return 8192
+}
+
+// methods parses the method list (Validate has already vetted it).
+func (s *SweepSpec) methods() []Method {
+	ms := make([]Method, len(s.Methods))
+	for i, name := range s.Methods {
+		ms[i], _ = ParseMethod(name)
+	}
+	return ms
+}
+
+// Expand validates the spec and expands it against the options into the
+// table skeleton (rows, columns, hardware-ceiling cells) and the flat
+// (cell × trial) config grid, in the exact order the original figure
+// generators produced: rows outermost, then methods, patterns, trials.
+// Expansion is pure — no simulation runs — so tests can pin the grid a
+// spec denotes without paying for the runs.
+func (s *SweepSpec) Expand(o Options) (*Table, []Config, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	o = s.options(o)
+	layout, _ := pfs.ParseLayout(s.Layout)
+	methods := s.methods()
+	axis := axisInfo[s.Axis]
+	t := &Table{ID: s.TableID(), Title: s.Title, RowLabel: axis.rowLabel, Note: s.Note}
+	for _, m := range methods {
+		for _, p := range s.Patterns {
+			t.Cols = append(t.Cols, fmt.Sprintf("%s %s", m, p))
+		}
+	}
+	t.Cols = append(t.Cols, "max-bw")
+	cellsPerRow := len(methods) * len(s.Patterns)
+	trials := o.trials()
+	cfgs := make([]Config, 0, len(s.Values)*cellsPerRow*trials)
+	t.Cells = make([][]Cell, len(s.Values))
+	for vi, v := range s.Values {
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", v))
+		t.Cells[vi] = make([]Cell, cellsPerRow+1)
+		var ceiling float64
+		for _, m := range methods {
+			for _, p := range s.Patterns {
+				cfg := o.base()
+				cfg.Layout = layout
+				cfg.RecordSize = s.record()
+				cfg.Pattern = p
+				cfg.Method = m
+				if s.CPs > 0 {
+					cfg.NCP = s.CPs
+				}
+				if s.IOPs > 0 {
+					cfg.NIOP = s.IOPs
+				}
+				if s.Disks > 0 {
+					cfg.NDisks = s.Disks
+				}
+				axis.apply(&cfg, v)
+				ceiling = cfg.MaxBandwidthMBps()
+				for k := 0; k < trials; k++ {
+					c := cfg
+					c.Seed = trialSeed(cfg.Seed, k)
+					cfgs = append(cfgs, c)
+				}
+			}
+		}
+		t.Cells[vi][cellsPerRow] = Cell{Mean: ceiling}
+	}
+	return t, cfgs, nil
+}
+
+// SweepResult is the machine-readable outcome of one executed sweep: the
+// spec that produced it, the rendered table, and per measured cell the
+// full descriptive statistics over its trials (the table keeps only
+// mean and CV). CellStats is indexed [row][method×pattern column] and
+// excludes the table's trailing max-bw column, which is a hardware
+// ceiling, not a measurement.
+type SweepResult struct {
+	Spec      *SweepSpec        `json:"spec"`       // the spec that ran
+	Table     *Table            `json:"table"`      // rendered figure table
+	CellStats [][]stats.Summary `json:"cell_stats"` // per-cell trial statistics
+}
+
+// JSON renders the sweep result as indented JSON.
+func (r *SweepResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ParseSweepResult parses JSON produced by SweepResult.JSON.
+func ParseSweepResult(data []byte) (*SweepResult, error) {
+	var r SweepResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("exp: parsing sweep result: %w", err)
+	}
+	return &r, nil
+}
+
+// Run executes the sweep on the options' worker pool and returns its
+// table. For the paper-range presets the result is bit-identical to the
+// original hard-coded figure generators (pinned by the golden expansion
+// test): the config grid, seed derivation, and aggregation order are
+// exactly theirs.
+func (s *SweepSpec) Run(o Options) (*Table, error) {
+	res, err := s.RunFull(o)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
+}
+
+// RunFull executes the sweep and returns the table plus per-cell trial
+// statistics for machine-readable output.
+func (s *SweepSpec) RunFull(o Options) (*SweepResult, error) {
+	t, cfgs, err := s.Expand(o)
+	if err != nil {
+		return nil, err
+	}
+	o = s.options(o)
+	methods := s.methods()
+	cellsPerRow := len(methods) * len(s.Patterns)
+	trials := o.trials()
+	cellStats := make([][]stats.Summary, len(s.Values))
+	for i := range cellStats {
+		cellStats[i] = make([]stats.Summary, cellsPerRow)
+	}
+	r := o.runner()
+	aggs := newCellAggs(len(s.Values)*cellsPerRow, trials)
+	_, err = r.RunAll(cfgs, func(idx int, res *Result) {
+		cell, trial := idx/trials, idx%trials
+		if aggs[cell].done(trial, res) {
+			vi, ci := cell/cellsPerRow, cell%cellsPerRow
+			t.Cells[vi][ci] = aggs[cell].cell()
+			cellStats[vi][ci] = stats.Summarize(aggs[cell].mbps)
+			r.progressLocked("%s %s=%s %-4s %-9v %7.2f MB/s (cv %.3f)", t.ID, t.RowLabel,
+				t.Rows[vi], s.Patterns[ci%len(s.Patterns)], methods[ci/len(s.Patterns)],
+				t.Cells[vi][ci].Mean, t.Cells[vi][ci].CV)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", t.ID, err)
+	}
+	return &SweepResult{Spec: s, Table: t, CellStats: cellStats}, nil
+}
+
+// ResolveSweep turns a sweep argument — as the -sweep flags of
+// cmd/figures and cmd/ddiosim accept — into a validated spec: a
+// built-in preset name, or a path to a JSON spec file.
+func ResolveSweep(nameOrPath string) (*SweepSpec, error) {
+	if spec, ok := LookupPreset(nameOrPath); ok {
+		return spec, nil
+	}
+	data, err := os.ReadFile(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %q is neither a built-in sweep preset nor a readable spec file: %w", nameOrPath, err)
+	}
+	return ParseSweepSpec(data)
+}
+
+// ParseSweepSpec parses a JSON sweep-spec file (see EXPERIMENTS.md for
+// the format) and validates it. Unknown fields are rejected so typos in
+// hand-written spec files fail loudly instead of silently deferring to
+// defaults.
+func ParseSweepSpec(data []byte) (*SweepSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s SweepSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("exp: parsing sweep spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,332 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ddio/internal/pfs"
+)
+
+// legacyExpand is a verbatim transcription of the hard-coded sweepTable
+// expansion that produced Figures 5–8 before the declarative sweep layer
+// existed. The golden test below requires every paper-range preset to
+// expand to the exact same table skeleton and (cell × trial) config
+// grid, which — simulations being pure functions of their configs — is
+// what makes the preset output bit-identical to the historical figures.
+func legacyExpand(o Options, id, title, rowLabel string, values []int,
+	layout pfs.LayoutKind, ddioMethod Method, mutate func(*Config, int)) (*Table, []Config) {
+	patterns := []string{"ra", "rn", "rb", "rc"}
+	methods := []Method{ddioMethod, TraditionalCaching}
+	t := &Table{ID: id, Title: title, RowLabel: rowLabel}
+	for _, m := range methods {
+		for _, p := range patterns {
+			t.Cols = append(t.Cols, fmt.Sprintf("%s %s", m, p))
+		}
+	}
+	t.Cols = append(t.Cols, "max-bw")
+	cellsPerRow := len(methods) * len(patterns)
+	trials := o.trials()
+	cfgs := make([]Config, 0, len(values)*cellsPerRow*trials)
+	t.Cells = make([][]Cell, len(values))
+	for vi, v := range values {
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", v))
+		t.Cells[vi] = make([]Cell, cellsPerRow+1)
+		var ceiling float64
+		for _, m := range methods {
+			for _, p := range patterns {
+				cfg := o.base()
+				cfg.Layout = layout
+				cfg.RecordSize = 8192
+				cfg.Pattern = p
+				cfg.Method = m
+				mutate(&cfg, v)
+				ceiling = cfg.MaxBandwidthMBps()
+				for k := 0; k < trials; k++ {
+					c := cfg
+					c.Seed = trialSeed(cfg.Seed, k)
+					cfgs = append(cfgs, c)
+				}
+			}
+		}
+		t.Cells[vi][cellsPerRow] = Cell{Mean: ceiling}
+	}
+	return t, cfgs
+}
+
+// TestPaperPresetsMatchLegacyExpansion is the golden contract of the
+// sweep layer: the four paper-range presets expand — skeleton and config
+// grid — exactly as the retired hard-coded Figure 5–8 generators did, at
+// both the paper's default options and scaled-down ones. No simulation
+// runs; identical configs imply bit-identical tables.
+func TestPaperPresetsMatchLegacyExpansion(t *testing.T) {
+	legacy := map[string]func(o Options) (*Table, []Config){
+		"fig5-paper": func(o Options) (*Table, []Config) {
+			return legacyExpand(o, "fig5", "throughput vs number of CPs (contiguous, 8 KB records)",
+				"CPs", []int{1, 2, 4, 8, 16}, pfs.Contiguous, DiskDirected,
+				func(c *Config, v int) { c.NCP = v })
+		},
+		"fig6-paper": func(o Options) (*Table, []Config) {
+			return legacyExpand(o, "fig6", "throughput vs number of IOPs/busses (16 disks, contiguous, 8 KB records)",
+				"IOPs", []int{1, 2, 4, 8, 16}, pfs.Contiguous, DiskDirected,
+				func(c *Config, v int) { c.NIOP = v })
+		},
+		"fig7-paper": func(o Options) (*Table, []Config) {
+			return legacyExpand(o, "fig7", "throughput vs number of disks (1 IOP/bus, contiguous, 8 KB records)",
+				"disks", []int{1, 2, 4, 8, 16, 32}, pfs.Contiguous, DiskDirected,
+				func(c *Config, v int) { c.NIOP = 1; c.NDisks = v })
+		},
+		"fig8-paper": func(o Options) (*Table, []Config) {
+			return legacyExpand(o, "fig8", "throughput vs number of disks (1 IOP/bus, random-blocks, 8 KB records)",
+				"disks", []int{1, 2, 4, 8, 16, 32}, pfs.RandomBlocks, DiskDirectedSort,
+				func(c *Config, v int) { c.NIOP = 1; c.NDisks = v })
+		},
+	}
+	for _, o := range []Options{DefaultOptions(), tinyOptions()} {
+		for name, gen := range legacy {
+			wantT, wantCfgs := gen(o)
+			spec, ok := LookupPreset(name)
+			if !ok {
+				t.Fatalf("preset %q missing", name)
+			}
+			gotT, gotCfgs, err := spec.Expand(o)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !reflect.DeepEqual(gotT, wantT) {
+				t.Errorf("%s: table skeleton diverges from legacy:\ngot  %+v\nwant %+v", name, gotT, wantT)
+			}
+			if len(gotCfgs) != len(wantCfgs) {
+				t.Fatalf("%s: %d configs, legacy had %d", name, len(gotCfgs), len(wantCfgs))
+			}
+			for i := range gotCfgs {
+				g, w := gotCfgs[i], wantCfgs[i]
+				// Spec.Seek is a func, which DeepEqual can't compare;
+				// both sides take the same fresh HP97560, so compare the
+				// model by name and the rest of the config structurally.
+				if g.Disk == nil || w.Disk == nil || g.Disk.Name != w.Disk.Name {
+					t.Fatalf("%s: config %d disk %v vs %v", name, i, g.Disk, w.Disk)
+				}
+				g.Disk, w.Disk = nil, nil
+				if !reflect.DeepEqual(g, w) {
+					t.Fatalf("%s: config %d diverges from legacy:\ngot  %+v\nwant %+v", name, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestPresetsValid checks every built-in preset validates and expands.
+func TestPresetsValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Presets() {
+		if seen[s.Name] {
+			t.Errorf("duplicate preset name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if _, _, err := s.Expand(DefaultOptions()); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	for _, name := range []string{"fig5-paper", "fig6-paper", "fig7-paper", "fig8-paper", "ext-smoke"} {
+		if !seen[name] {
+			t.Errorf("required preset %q missing", name)
+		}
+	}
+}
+
+// TestSweepExtendedBeyondPaper runs the CI smoke preset end to end: axes
+// beyond the paper's 16 CPs, one trial of a small file, with the result
+// round-tripping through the sweep-result JSON emitter.
+func TestSweepExtendedBeyondPaper(t *testing.T) {
+	spec, ok := LookupPreset("ext-smoke")
+	if !ok {
+		t.Fatal("ext-smoke preset missing")
+	}
+	res, err := spec.RunFull(DefaultOptions()) // preset overrides trials/file size itself
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.Table.Rows {
+		for j := range res.Table.Cols[:len(res.Table.Cols)-1] {
+			if res.Table.Cells[i][j].Mean <= 0 {
+				t.Errorf("cell (%s, %s) empty", row, res.Table.Cols[j])
+			}
+			if st := res.CellStats[i][j]; st.N != 1 || st.Mean != res.Table.Cells[i][j].Mean {
+				t.Errorf("cell (%s, %s): stats %+v disagree with table mean %v",
+					row, res.Table.Cols[j], st, res.Table.Cells[i][j].Mean)
+			}
+		}
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSweepResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, res) {
+		t.Fatalf("sweep result JSON round trip diverged:\ngot  %+v\nwant %+v", back, res)
+	}
+}
+
+// randomTable builds a table with pseudo-random labels and cells. Means
+// are quantized to the CSV emitter's three-decimal precision so the CSV
+// round trip is exact; CVs keep full float64 precision for the JSON leg.
+func randomTable(rng *rand.Rand) *Table {
+	nr, nc := 1+rng.Intn(6), 1+rng.Intn(6)
+	t := &Table{
+		ID:       fmt.Sprintf("t%d", rng.Intn(1000)),
+		Title:    "random table",
+		RowLabel: "row",
+	}
+	for j := 0; j < nc; j++ {
+		t.Cols = append(t.Cols, fmt.Sprintf("c%d", j))
+	}
+	for i := 0; i < nr; i++ {
+		t.Rows = append(t.Rows, fmt.Sprintf("r%d", i))
+		cells := make([]Cell, nc)
+		for j := range cells {
+			cells[j] = Cell{
+				Mean: float64(rng.Intn(1_000_000)) / 1000,
+				CV:   rng.Float64(),
+			}
+		}
+		t.Cells = append(t.Cells, cells)
+	}
+	if rng.Intn(2) == 0 {
+		t.Note = "a note"
+	}
+	return t
+}
+
+// TestTableJSONRoundTrip is the property that the JSON emitter is
+// lossless: parse(emit(t)) == t for random tables.
+func TestTableJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		want := randomTable(rng)
+		data, err := want.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseTableJSON(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration %d: JSON round trip diverged:\ngot  %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestTableCSVRoundTrip is the property that the CSV emitter round-trips
+// everything CSV carries: labels and three-decimal means.
+func TestTableCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		want := randomTable(rng)
+		got, err := ParseTableCSV(want.CSV())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RowLabel != want.RowLabel || !reflect.DeepEqual(got.Rows, want.Rows) ||
+			!reflect.DeepEqual(got.Cols, want.Cols) {
+			t.Fatalf("iteration %d: CSV labels diverged:\ngot  %+v\nwant %+v", i, got, want)
+		}
+		for r := range want.Cells {
+			for c := range want.Cells[r] {
+				if got.Cells[r][c].Mean != want.Cells[r][c].Mean {
+					t.Fatalf("iteration %d: cell (%d,%d) %v != %v",
+						i, r, c, got.Cells[r][c].Mean, want.Cells[r][c].Mean)
+				}
+			}
+		}
+	}
+}
+
+// TestParseSweepSpec checks the JSON file format: a valid file parses to
+// the expected spec, unknown fields and invalid axes are rejected.
+func TestParseSweepSpec(t *testing.T) {
+	good := `{
+  "name": "my-sweep", "title": "custom", "axis": "disks",
+  "values": [2, 6], "iops": 1,
+  "layout": "random-blocks", "methods": ["ddio-sort", "tc"],
+  "patterns": ["rb", "rc"], "record": 4096, "trials": 2
+}`
+	s, err := ParseSweepSpec([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "my-sweep" || s.Axis != AxisDisks || s.IOPs != 1 || s.Record != 4096 {
+		t.Fatalf("parsed spec %+v", s)
+	}
+	if _, _, err := s.Expand(tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string]string{
+		"unknown field": `{"name":"x","axis":"cps","values":[1],"layout":"contiguous",
+			"methods":["tc"],"patterns":["ra"],"bogus":1}`,
+		"bad axis":    `{"name":"x","axis":"warp","values":[1],"layout":"contiguous","methods":["tc"],"patterns":["ra"]}`,
+		"bad layout":  `{"name":"x","axis":"cps","values":[1],"layout":"striped","methods":["tc"],"patterns":["ra"]}`,
+		"bad method":  `{"name":"x","axis":"cps","values":[1],"layout":"contiguous","methods":["nfs"],"patterns":["ra"]}`,
+		"bad pattern": `{"name":"x","axis":"cps","values":[1],"layout":"contiguous","methods":["tc"],"patterns":["zz"]}`,
+		"no values":   `{"name":"x","axis":"cps","values":[],"layout":"contiguous","methods":["tc"],"patterns":["ra"]}`,
+		"zero value":  `{"name":"x","axis":"cps","values":[0],"layout":"contiguous","methods":["tc"],"patterns":["ra"]}`,
+		"no name":     `{"axis":"cps","values":[1],"layout":"contiguous","methods":["tc"],"patterns":["ra"]}`,
+		"not json":    `axis: cps`,
+		"no patterns": `{"name":"x","axis":"cps","values":[1],"layout":"contiguous","methods":["tc"],"patterns":[]}`,
+	} {
+		if _, err := ParseSweepSpec([]byte(bad)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestSweepSpecOverrides pins the Trials/FileMB spec overrides and the
+// record default used by smoke presets.
+func TestSweepSpecOverrides(t *testing.T) {
+	spec := tinySweepSpec()
+	spec.Trials = 3
+	spec.FileMB = 2
+	_, cfgs, err := spec.Expand(Options{Trials: 9, FileBytes: 16 * MiB, Seed: 5, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCell := 3
+	if want := len(spec.Values) * len(spec.Methods) * len(spec.Patterns) * perCell; len(cfgs) != want {
+		t.Fatalf("%d configs, want %d (trials override)", len(cfgs), want)
+	}
+	for _, c := range cfgs {
+		if c.FileBytes != 2*MiB {
+			t.Fatalf("file size %d, want %d (filemb override)", c.FileBytes, 2*MiB)
+		}
+		if c.RecordSize != 8192 {
+			t.Fatalf("record size %d, want paper default 8192", c.RecordSize)
+		}
+	}
+}
+
+// TestSweepProgressLines checks the executed sweep reports one progress
+// line per measured cell, in the historical format.
+func TestSweepProgressLines(t *testing.T) {
+	var lines []string
+	o := tinyOptions()
+	o.Progress = func(s string) { lines = append(lines, s) }
+	spec := tinySweepSpec()
+	if _, err := spec.Run(o); err != nil {
+		t.Fatal(err)
+	}
+	want := len(spec.Values) * len(spec.Methods) * len(spec.Patterns)
+	if len(lines) != want {
+		t.Fatalf("%d progress lines, want %d: %q", len(lines), want, lines)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "figS CPs=") || !strings.Contains(l, "MB/s") {
+			t.Fatalf("malformed progress line %q", l)
+		}
+	}
+}

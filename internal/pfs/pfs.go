@@ -25,6 +25,7 @@ const (
 	RandomBlocks
 )
 
+// String returns the layout's display name.
 func (k LayoutKind) String() string {
 	switch k {
 	case Contiguous:
@@ -49,9 +50,9 @@ func ParseLayout(s string) (LayoutKind, error) {
 
 // File is a striped parallel file.
 type File struct {
-	BlockSize int
-	NumBlocks int
-	Disks     []*disk.Disk
+	BlockSize int          // bytes per file block
+	NumBlocks int          // file length in blocks
+	Disks     []*disk.Disk // stripe set; block b lives on disk b mod len
 
 	sectorsPerBlock int64
 	placement       []int64 // file block -> starting sector on its disk

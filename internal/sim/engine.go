@@ -75,11 +75,12 @@ type Engine struct {
 }
 
 // NewEngine returns a new engine with the clock at zero, no pending
-// events, and the default (calendar) event queue.
-func NewEngine() *Engine { return NewEngineWithQueue(CalendarQueue) }
+// events, and the default (adaptive hybrid) event queue: a binary heap
+// while few events are pending, the calendar queue once the set grows.
+func NewEngine() *Engine { return NewEngineWithQueue(HybridQueue) }
 
 // NewEngineWithQueue returns a new engine using the given event-queue
-// implementation. Both kinds fire identical workloads in identical order;
+// implementation. All kinds fire identical workloads in identical order;
 // the switch exists for A/B benchmarking.
 func NewEngineWithQueue(k QueueKind) *Engine {
 	return &Engine{

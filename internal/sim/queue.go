@@ -7,13 +7,13 @@ import (
 
 // The engine's pending-event set is a priority queue ordered by (t, seq):
 // virtual time first, then insertion sequence, so events scheduled for the
-// same instant fire in FIFO order. Two implementations satisfy evq — a
-// binary min-heap (heapQueue) and a Brown-style calendar queue
-// (calendarQueue) — and because the (t, seq) order is a strict total
-// order, both fire identical workloads in identical order. NewEngine uses
-// the calendar queue; NewEngineWithQueue selects one explicitly for A/B
-// benchmarking (see TestQueueEquivalenceRandom for the property that pins
-// the two together).
+// same instant fire in FIFO order. Three implementations satisfy evq — a
+// binary min-heap (heapQueue), a Brown-style calendar queue
+// (calendarQueue), and an adaptive hybrid of the two (hybridQueue) — and
+// because the (t, seq) order is a strict total order, all fire identical
+// workloads in identical order. NewEngine uses the hybrid; NewEngineWithQueue
+// selects one explicitly for A/B benchmarking (see
+// TestQueueEquivalenceRandom for the property that pins them together).
 
 // evq is the minimal priority-queue surface the engine needs. push may be
 // called with any t not less than the last popped t (the engine forbids
@@ -31,19 +31,27 @@ type QueueKind int
 
 // The available event-queue implementations.
 const (
+	// HybridQueue adapts to queue size: a binary heap while few events
+	// are pending (where the calendar ring scan costs ~2x a heap pop)
+	// and the calendar queue once the queue grows (the default).
+	HybridQueue QueueKind = iota
 	// CalendarQueue is a time-bucketed ring with an overflow heap for
-	// far-future events: O(1) expected push/pop (the default).
-	CalendarQueue QueueKind = iota
+	// far-future events: O(1) expected push/pop at scale.
+	CalendarQueue
 	// HeapQueue is the classic binary min-heap: O(log n) push/pop, kept
 	// for A/B benchmarking against the calendar queue.
 	HeapQueue
 )
 
 func newQueue(k QueueKind) evq {
-	if k == HeapQueue {
+	switch k {
+	case HeapQueue:
 		return &heapQueue{}
+	case CalendarQueue:
+		return newCalendarQueue()
+	default:
+		return &hybridQueue{}
 	}
-	return newCalendarQueue()
 }
 
 // evLess is the queue's strict total order.
@@ -346,4 +354,99 @@ func (cq *calendarQueue) resize(nb int) {
 			cq.n++
 		}
 	}
+}
+
+// --- adaptive hybrid ---
+
+// Hysteresis thresholds for the hybrid queue. Below ~100 pending events
+// the calendar ring scan costs about twice a heap pop (BenchmarkQueue),
+// so the hybrid stays on the heap until the queue clearly outgrows that
+// regime and only returns once it has clearly shrunk back; the wide gap
+// between the two marks keeps migrations rare.
+const (
+	hqToCalendar = 128 // heap -> calendar above this many pending events
+	hqToHeap     = 16  // calendar -> heap below this many pending events
+)
+
+// hybridQueue runs on a binary heap while the pending set is small and
+// migrates to the calendar queue when it grows past hqToCalendar (and
+// back when it drains below hqToHeap). A migration drains the source in
+// (t, seq) order and replays it into the target — a strict-total-order
+// replay — so the firing sequence is identical to either implementation
+// alone; TestQueueEquivalenceRandom crosses the thresholds repeatedly to
+// pin that.
+type hybridQueue struct {
+	heap  heapQueue
+	cal   *calendarQueue
+	onCal bool
+	lastT Time // most recent pop's time: lower bound for every future push
+}
+
+func (h *hybridQueue) len() int {
+	if h.onCal {
+		return h.cal.len()
+	}
+	return h.heap.len()
+}
+
+func (h *hybridQueue) clear() {
+	h.heap.clear()
+	if h.cal != nil {
+		h.cal.clear()
+	}
+	h.onCal = false
+	h.lastT = 0
+}
+
+func (h *hybridQueue) push(ev event) {
+	if h.onCal {
+		h.cal.push(ev)
+		return
+	}
+	h.heap.push(ev)
+	if h.heap.len() > hqToCalendar {
+		h.toCalendar()
+	}
+}
+
+func (h *hybridQueue) pop() event {
+	if !h.onCal {
+		ev := h.heap.pop()
+		h.lastT = ev.t
+		return ev
+	}
+	ev := h.cal.pop()
+	h.lastT = ev.t
+	if h.cal.len() < hqToHeap {
+		h.toHeap()
+	}
+	return ev
+}
+
+// toCalendar migrates the pending set heap -> calendar. The fresh ring
+// is anchored at the hybrid's last popped time — a lower bound both for
+// every migrated event and for every future push (the heap minimum is
+// not: the engine may still push between lastT and it) — so nearby
+// events land in buckets rather than all spilling to the overflow heap,
+// and the replay's (t, seq) order makes those inserts take the bucket
+// append fast path.
+func (h *hybridQueue) toCalendar() {
+	if h.cal == nil {
+		h.cal = newCalendarQueue()
+	} else {
+		h.cal.clear()
+	}
+	h.cal.anchor(h.lastT)
+	for h.heap.len() > 0 {
+		h.cal.push(h.heap.pop())
+	}
+	h.onCal = true
+}
+
+// toHeap migrates the pending set calendar -> heap.
+func (h *hybridQueue) toHeap() {
+	for h.cal.len() > 0 {
+		h.heap.push(h.cal.pop())
+	}
+	h.onCal = false
 }

@@ -17,27 +17,31 @@ func popAll(q evq) []event {
 }
 
 // TestQueueEquivalenceRandom is the property that pins the calendar queue
-// to the heap: on randomized interleavings of pushes and pops — with
-// bursts that force ring resizes, same-instant ties that exercise the
-// FIFO seq ordering, and far-future events that land in the overflow
-// heap — both implementations produce the identical firing sequence,
-// event for event.
+// and the adaptive hybrid to the heap: on randomized interleavings of
+// pushes and pops — with bursts that force ring resizes (and drive the
+// hybrid across both migration thresholds), same-instant ties that
+// exercise the FIFO seq ordering, and far-future events that land in the
+// overflow heap — all implementations produce the identical firing
+// sequence, event for event.
 func TestQueueEquivalenceRandom(t *testing.T) {
 	// Time deltas mix zero (FIFO ties), small (same bucket), medium
 	// (ring laps), and huge (overflow horizon) gaps.
 	deltas := []int64{0, 0, 1, 3, 100, 4096, 65536, 1 << 22, 1 << 34}
 	for seed := int64(1); seed <= 20; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		cal, heap := newCalendarQueue(), &heapQueue{}
+		heap := &heapQueue{}
+		others := []evq{newCalendarQueue(), &hybridQueue{}}
 		var seq int64
 		low := Time(0) // last popped time: pushes may not precede it
 		for op := 0; op < 5000; op++ {
-			if cal.len() != heap.len() {
-				t.Fatalf("seed %d op %d: len %d vs %d", seed, op, cal.len(), heap.len())
+			for qi, q := range others {
+				if q.len() != heap.len() {
+					t.Fatalf("seed %d op %d queue %d: len %d vs %d", seed, op, qi, q.len(), heap.len())
+				}
 			}
 			// Bias towards pushes so the queues grow and resize, but keep
 			// popping throughout so cur/lastT advance through the ring.
-			if cal.len() == 0 || rng.Intn(3) > 0 {
+			if heap.len() == 0 || rng.Intn(3) > 0 {
 				burst := 1
 				if rng.Intn(20) == 0 {
 					burst = 50 + rng.Intn(200) // trigger grow resizes
@@ -46,25 +50,32 @@ func TestQueueEquivalenceRandom(t *testing.T) {
 					seq++
 					tt := low + Time(deltas[rng.Intn(len(deltas))])
 					ev := event{t: tt, seq: seq}
-					cal.push(ev)
 					heap.push(ev)
+					for _, q := range others {
+						q.push(ev)
+					}
 				}
 				continue
 			}
-			a, b := cal.pop(), heap.pop()
-			if a.t != b.t || a.seq != b.seq {
-				t.Fatalf("seed %d op %d: pop (%d,%d) vs (%d,%d)", seed, op, a.t, a.seq, b.t, b.seq)
+			b := heap.pop()
+			for qi, q := range others {
+				if a := q.pop(); a.t != b.t || a.seq != b.seq {
+					t.Fatalf("seed %d op %d queue %d: pop (%d,%d) vs (%d,%d)", seed, op, qi, a.t, a.seq, b.t, b.seq)
+				}
 			}
-			low = a.t
+			low = b.t
 		}
-		ca, ha := popAll(cal), popAll(heap)
-		if len(ca) != len(ha) {
-			t.Fatalf("seed %d: drain lengths %d vs %d", seed, len(ca), len(ha))
-		}
-		for i := range ca {
-			if ca[i].t != ha[i].t || ca[i].seq != ha[i].seq {
-				t.Fatalf("seed %d: drain diverges at %d: (%d,%d) vs (%d,%d)",
-					seed, i, ca[i].t, ca[i].seq, ha[i].t, ha[i].seq)
+		ha := popAll(heap)
+		for qi, q := range others {
+			qa := popAll(q)
+			if len(qa) != len(ha) {
+				t.Fatalf("seed %d queue %d: drain lengths %d vs %d", seed, qi, len(qa), len(ha))
+			}
+			for i := range qa {
+				if qa[i].t != ha[i].t || qa[i].seq != ha[i].seq {
+					t.Fatalf("seed %d queue %d: drain diverges at %d: (%d,%d) vs (%d,%d)",
+						seed, qi, i, qa[i].t, qa[i].seq, ha[i].t, ha[i].seq)
+				}
 			}
 		}
 	}
@@ -73,7 +84,7 @@ func TestQueueEquivalenceRandom(t *testing.T) {
 // TestQueueSameInstantFIFO pins the tie-break rule in isolation: many
 // events at one instant fire in push order on both implementations.
 func TestQueueSameInstantFIFO(t *testing.T) {
-	for _, k := range []QueueKind{CalendarQueue, HeapQueue} {
+	for _, k := range []QueueKind{CalendarQueue, HeapQueue, HybridQueue} {
 		q := newQueue(k)
 		for i := 1; i <= 100; i++ {
 			q.push(event{t: 42, seq: int64(i)})
@@ -139,42 +150,110 @@ func TestEngineQueueKindsProduceIdenticalRuns(t *testing.T) {
 		e.Run()
 		return out
 	}
-	a, b := trace(CalendarQueue), trace(HeapQueue)
-	if len(a) != len(b) {
-		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	a, b, c := trace(CalendarQueue), trace(HeapQueue), trace(HybridQueue)
+	if len(a) != len(b) || len(a) != len(c) {
+		t.Fatalf("trace lengths differ: %d vs %d vs %d", len(a), len(b), len(c))
 	}
 	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q vs %q", i, a[i], b[i], c[i])
 		}
 	}
 }
 
-// BenchmarkQueue measures raw push/pop throughput of both queue kinds on
-// a hold-model workload (pop one, push one a random distance ahead),
-// which is the steady state the engine presents.
+// TestHybridQueueMigrates pins the hybrid's mode transitions: growing
+// past the upper threshold moves the pending set onto the calendar,
+// draining below the lower threshold moves it back, and order is exact
+// throughout.
+func TestHybridQueueMigrates(t *testing.T) {
+	h, ref := &hybridQueue{}, &heapQueue{}
+	rng := rand.New(rand.NewSource(4))
+	var seq int64
+	push := func(n int, low Time) {
+		for i := 0; i < n; i++ {
+			seq++
+			ev := event{t: low + Time(rng.Int63n(1<<30)), seq: seq}
+			h.push(ev)
+			ref.push(ev)
+		}
+	}
+	push(hqToCalendar, 0)
+	if h.onCal {
+		t.Fatalf("on calendar at %d pending (threshold %d)", h.len(), hqToCalendar)
+	}
+	push(1, 0)
+	if !h.onCal {
+		t.Fatalf("still on heap at %d pending (threshold %d)", h.len(), hqToCalendar)
+	}
+	low := Time(0)
+	for h.len() >= hqToHeap {
+		a, b := h.pop(), ref.pop()
+		if a.t != b.t || a.seq != b.seq {
+			t.Fatalf("diverged: (%d,%d) vs (%d,%d)", a.t, a.seq, b.t, b.seq)
+		}
+		low = a.t
+	}
+	if h.onCal {
+		t.Fatalf("still on calendar at %d pending (threshold %d)", h.len(), hqToHeap)
+	}
+	push(300, low) // grow again: a second migration must stay exact
+	for h.len() > 0 {
+		a, b := h.pop(), ref.pop()
+		if a.t != b.t || a.seq != b.seq {
+			t.Fatalf("post-remigration divergence: (%d,%d) vs (%d,%d)", a.t, a.seq, b.t, b.seq)
+		}
+	}
+	if ref.len() != 0 {
+		t.Fatal("reference heap not drained")
+	}
+}
+
+var queueKinds = []struct {
+	name string
+	kind QueueKind
+}{{"calendar", CalendarQueue}, {"heap", HeapQueue}, {"hybrid", HybridQueue}}
+
+// benchmarkQueueHold measures raw push/pop throughput on a hold-model
+// workload (pop one, push one a random distance ahead), which is the
+// steady state the engine presents, at a fixed pending-set size.
+func benchmarkQueueHold(b *testing.B, kind QueueKind, size int) {
+	rng := rand.New(rand.NewSource(1))
+	q := newQueue(kind)
+	var seq int64
+	now := Time(0)
+	for i := 0; i < size; i++ {
+		seq++
+		q.push(event{t: now + Time(rng.Int63n(1<<20)), seq: seq})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.pop()
+		now = ev.t
+		seq++
+		q.push(event{t: now + Time(rng.Int63n(1<<20)), seq: seq})
+	}
+}
+
+// BenchmarkQueueSmall covers the small-queue regime the hybrid exists
+// for: the hybrid should track the heap here, not the calendar's ring
+// scan (the sizes straddle the hybrid's lower migration threshold).
+func BenchmarkQueueSmall(b *testing.B) {
+	for _, bc := range queueKinds {
+		for _, size := range []int{4, 12, 48} {
+			b.Run(bc.name+"/"+strconv.Itoa(size), func(b *testing.B) {
+				benchmarkQueueHold(b, bc.kind, size)
+			})
+		}
+	}
+}
+
+// BenchmarkQueue measures the queue kinds across the sizes simulation
+// runs actually present (hundreds to thousands pending).
 func BenchmarkQueue(b *testing.B) {
-	for _, bc := range []struct {
-		name string
-		kind QueueKind
-	}{{"calendar", CalendarQueue}, {"heap", HeapQueue}} {
+	for _, bc := range queueKinds {
 		for _, size := range []int{32, 512, 8192} {
 			b.Run(bc.name+"/"+strconv.Itoa(size), func(b *testing.B) {
-				rng := rand.New(rand.NewSource(1))
-				q := newQueue(bc.kind)
-				var seq int64
-				now := Time(0)
-				for i := 0; i < size; i++ {
-					seq++
-					q.push(event{t: now + Time(rng.Int63n(1<<20)), seq: seq})
-				}
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					ev := q.pop()
-					now = ev.t
-					seq++
-					q.push(event{t: now + Time(rng.Int63n(1<<20)), seq: seq})
-				}
+				benchmarkQueueHold(b, bc.kind, size)
 			})
 		}
 	}

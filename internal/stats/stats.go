@@ -43,13 +43,16 @@ func CV(xs []float64) float64 {
 	return Stddev(xs) / m
 }
 
-// Summary holds descriptive statistics of one sample.
+// Summary holds descriptive statistics of one sample. It marshals to
+// JSON with stable snake_case keys — the experiment harness embeds it in
+// machine-readable sweep results (one Summary per table cell).
 type Summary struct {
-	N        int
-	Mean     float64
-	Stddev   float64
-	CV       float64
-	Min, Max float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	CV     float64 `json:"cv"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
 }
 
 // Summarize computes a Summary of xs.
