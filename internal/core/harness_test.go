@@ -86,6 +86,12 @@ func (r *rig) collective(t *testing.T, dec *hpf.Decomp, write bool, prm Params) 
 	if client.EndTime() == 0 {
 		t.Fatalf("collective did not complete; blocked: %v", r.eng.BlockedProcs())
 	}
+	// Proc-leak hygiene: every transient proc (CP bodies, dd-work service
+	// threads, buffer threads) must have exited; only daemons — the
+	// dispatchers, disk servers, and parked pool workers — may remain.
+	if n := r.eng.NumBlocked(); n != 0 {
+		t.Fatalf("proc leak: %d non-daemon procs blocked after run: %v", n, r.eng.BlockedProcs())
+	}
 	return client.EndTime().Duration()
 }
 

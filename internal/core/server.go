@@ -30,14 +30,22 @@ type Server struct {
 	prm  Params
 	m2   Metrics
 
-	localDisks []int // global disk indices served by this IOP
+	localDisks                 []int            // global disk indices served by this IOP
+	pool                       *sim.ServicePool // persistent collective-request service threads
+	bufNames                   [][]string       // precomputed buffer-thread proc names [localDisk][buffer]
+	deliveredName, workersName string           // precomputed per-request WaitGroup names
 }
 
-// NewServer builds the disk-directed server for one IOP and starts its
-// dispatcher.
+// NewServer builds the disk-directed server for one IOP: a dispatcher
+// daemon that demultiplexes the mailbox, and a pool of persistent
+// service threads that execute collective requests (cf. the paper's
+// fixed per-IOP thread structure).
 func NewServer(m *cluster.Machine, node *cluster.Node, f *pfs.File, prm Params) *Server {
 	if prm.BuffersPerDisk < 1 {
 		prm.BuffersPerDisk = 1
+	}
+	if prm.ServiceThreads < 1 {
+		prm.ServiceThreads = 1
 	}
 	s := &Server{m: m, node: node, f: f, prm: prm}
 	for d := range f.Disks {
@@ -45,7 +53,18 @@ func NewServer(m *cluster.Machine, node *cluster.Node, f *pfs.File, prm Params) 
 			s.localDisks = append(s.localDisks, d)
 		}
 	}
-	m.Eng.Go("dd-dispatch:"+node.String(), s.dispatch)
+	s.bufNames = make([][]string, len(s.localDisks))
+	for i, d := range s.localDisks {
+		s.bufNames[i] = make([]string, prm.BuffersPerDisk)
+		for b := 0; b < prm.BuffersPerDisk; b++ {
+			s.bufNames[i][b] = fmt.Sprintf("dd-buf:%s:d%d.%d", node, d, b)
+		}
+	}
+	s.deliveredName = "dd-delivered:" + node.String()
+	s.workersName = "dd-workers:" + node.String()
+	s.pool = sim.NewServicePool(m.Eng, "dd-work:"+node.String(), prm.ServiceThreads,
+		func(w *sim.Proc, item any) { s.serve(w, item.(*collReq)) })
+	m.Eng.GoDaemon("dd-dispatch:"+node.String(), s.dispatch)
 	return s
 }
 
@@ -60,7 +79,7 @@ func (s *Server) dispatch(p *sim.Proc) {
 			panic(fmt.Sprintf("core: unexpected message %T", msg))
 		}
 		s.node.CPU.UseFor(p, s.prm.IOPStartCPU)
-		s.m.Eng.Go("dd-work:"+s.node.String(), func(w *sim.Proc) { s.serve(w, req) })
+		s.pool.Submit(req)
 	}
 }
 
@@ -86,15 +105,14 @@ func (s *Server) serve(p *sim.Proc, req *collReq) {
 
 	// delivered counts every Memput landed / every block durably
 	// written, so "finished" really means the data has arrived.
-	delivered := sim.NewWaitGroup(s.m.Eng, "dd-delivered:"+s.node.String(), 0)
-	workers := sim.NewWaitGroup(s.m.Eng, "dd-workers:"+s.node.String(), 0)
+	delivered := sim.NewWaitGroup(s.m.Eng, s.deliveredName, 0)
+	workers := sim.NewWaitGroup(s.m.Eng, s.workersName, 0)
 	for i, d := range s.localDisks {
 		dd := s.f.Disks[d]
 		it := &blockIter{blocks: plans[i]}
 		for b := 0; b < s.prm.BuffersPerDisk; b++ {
 			workers.Add(1)
-			name := fmt.Sprintf("dd-buf:%s:d%d.%d", s.node, d, b)
-			s.m.Eng.Go(name, func(w *sim.Proc) {
+			s.m.Eng.Go(s.bufNames[i][b], func(w *sim.Proc) {
 				defer workers.Done()
 				if req.write {
 					s.writeLoop(w, dd, it, req.dec, delivered)

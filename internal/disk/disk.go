@@ -82,7 +82,7 @@ func New(e *sim.Engine, name string, spec *Spec, b *bus.Bus, sched Scheduler) *D
 	d.cache = newRACache(d.g)
 	d.wb = wcache{g: d.g}
 	d.queued = sim.NewCond(e, "disk "+name)
-	e.Go("disk:"+name, d.run)
+	e.GoDaemon("disk:"+name, d.run)
 	return d
 }
 

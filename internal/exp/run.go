@@ -51,6 +51,24 @@ type Result struct {
 	VerifyErrors int // blocks/chunks that failed end-to-end verification
 }
 
+// cpNames are the per-CP proc names for the machine widths the presets
+// reach (≤ 64 CPs), precomputed so per-run spawns don't allocate them.
+var cpNames = func() [64]string {
+	var a [64]string
+	for i := range a {
+		a[i] = fmt.Sprintf("cp%d", i)
+	}
+	return a
+}()
+
+// cpProcName returns the diagnostic proc name for compute processor cp.
+func cpProcName(cp int) string {
+	if cp < len(cpNames) {
+		return cpNames[cp]
+	}
+	return fmt.Sprintf("cp%d", cp)
+}
+
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -165,7 +183,7 @@ func Run(cfg Config) (*Result, error) {
 
 	for cp := range m.CPs {
 		cp := cp
-		eng.Go(fmt.Sprintf("cp%d", cp), func(p *sim.Proc) {
+		eng.Go(cpProcName(cp), func(p *sim.Proc) {
 			p.Sleep(cfg.BarrierCost) // collective entry cost (negligible, §3)
 			runCP(p, cp)
 		})

@@ -16,6 +16,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -43,11 +44,20 @@ func (t Time) Add(d time.Duration) Time {
 // String formats t as a duration since time zero (e.g. "1.5ms").
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a single scheduled callback.
+// event is a single scheduled callback or proc-dispatch token.
+//
+// A callback event carries fn. A dispatch token instead carries (p, gen):
+// when it fires, p is dispatched only if its generation still matches,
+// so a token left queued past its incarnation's death — the proc may
+// already be recycled into an unrelated incarnation — is dropped
+// harmlessly. Tokens need no closure, which is what lets sleeps, wakes,
+// and spawns run allocation-free.
 type event struct {
 	t   Time
 	seq int64 // FIFO tie-break for events at the same instant
 	fn  func()
+	p   *Proc  // non-nil: dispatch token for p...
+	gen uint64 // ...valid only while p.gen still equals this
 }
 
 // Engine is a discrete-event simulator instance.
@@ -69,6 +79,7 @@ type Engine struct {
 	rootWake chan struct{}   // returns the token to the Run caller when the loop ends
 	cond     func(Time) bool // run-limit predicate for the current Run/RunUntil
 	procs    map[*Proc]struct{}
+	free     []*Proc // dead procs (with parked goroutines) awaiting reuse
 	running  bool
 	closed   bool
 	events   int64 // total events fired, for diagnostics
@@ -118,6 +129,20 @@ func (e *Engine) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	e.At(e.now.Add(d), fn)
+}
+
+// atProc schedules a dispatch token for p at absolute time t, tagged with
+// p's current generation. Allocation-free: the token is three words in
+// the event queue, no closure.
+func (e *Engine) atProc(t Time, p *Proc) {
+	if e.closed {
+		return
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (now=%v, t=%v)", e.now, t))
+	}
+	e.seq++
+	e.queue.push(event{t: t, seq: e.seq, p: p, gen: p.gen})
 }
 
 // Run executes events in timestamp order until no events remain. Procs
@@ -183,7 +208,17 @@ func (e *Engine) loop(owner *Proc) tokenState {
 		}
 		e.now = ev.t
 		e.events++
-		ev.fn()
+		if ev.p != nil {
+			// Dispatch token: valid only while the generation matches. A
+			// mismatch means the target incarnation died (and the proc
+			// was possibly recycled) after this token was queued — the
+			// stale wake-up fires as a harmless no-op event.
+			if ev.gen == ev.p.gen {
+				e.dispatch(ev.p)
+			}
+		} else {
+			ev.fn()
+		}
 		if p := e.xfer; p != nil {
 			e.xfer = nil
 			if p == owner {
@@ -212,26 +247,40 @@ func (e *Engine) dispatch(p *Proc) {
 // wake schedules p to resume at the current instant, after any events
 // already queued for this instant (FIFO fairness).
 func (e *Engine) wake(p *Proc) {
-	e.At(e.now, p.dispatch)
+	e.atProc(e.now, p)
 }
 
 // BlockedProcs returns the names and park-states of procs that are
-// currently blocked. After Run returns, a non-empty result usually
-// indicates a deadlock or a daemon process awaiting shutdown.
+// currently blocked, sorted so diagnostics are stable run-to-run. After
+// Run returns, a non-empty result usually indicates a deadlock or a
+// daemon process awaiting shutdown.
 func (e *Engine) BlockedProcs() []string {
 	var out []string
 	for p := range e.procs {
 		out = append(out, p.name+" ["+p.parkState()+"]")
 	}
+	sort.Strings(out)
 	return out
 }
 
-// NumBlocked returns the number of currently blocked procs.
-func (e *Engine) NumBlocked() int { return len(e.procs) }
+// NumBlocked returns the number of currently blocked procs, excluding
+// daemons (dispatch loops, disk servers, idle pool workers — procs
+// spawned with GoDaemon or parked by a ServicePool). After a successful
+// run it should be zero; anything else is a leaked transient proc.
+func (e *Engine) NumBlocked() int {
+	n := 0
+	for p := range e.procs {
+		if !p.daemon {
+			n++
+		}
+	}
+	return n
+}
 
-// Close terminates all blocked procs and discards pending events. It is
-// safe to call multiple times. After Close the engine rejects new events.
-// Close must not be called from inside the simulation.
+// Close terminates all blocked procs (and the parked goroutines of
+// recycled procs on the free list) and discards pending events. It is
+// safe to call multiple times. After Close the engine rejects new events
+// and new procs. Close must not be called from inside the simulation.
 func (e *Engine) Close() {
 	if e.closed {
 		return
@@ -240,8 +289,18 @@ func (e *Engine) Close() {
 	e.queue.clear()
 	for p := range e.procs {
 		delete(e.procs, p)
-		p.killed = true
-		close(p.resume)
-		<-p.exited
+		e.kill(p)
 	}
+	for i, p := range e.free {
+		e.free[i] = nil
+		e.kill(p)
+	}
+	e.free = nil
+}
+
+// kill shuts down one proc goroutine and waits for it to exit.
+func (e *Engine) kill(p *Proc) {
+	p.killed = true
+	close(p.resume)
+	<-p.exited
 }

@@ -9,48 +9,85 @@ import (
 // the engine so that exactly one proc (or event callback) runs at a time.
 // Procs block by parking themselves on synchronization objects or by
 // sleeping; control returns to the engine, which advances virtual time.
+//
+// Proc objects are recycled: when a body function returns, the proc dies
+// and goes onto the engine's free list, and the next Engine.Go re-arms it
+// (same goroutine, same channels) with a fresh body. Each death bumps the
+// proc's generation; dispatch tokens queued for an earlier incarnation
+// mismatch and fire as harmless no-ops (see Engine.loop), so a wake-up
+// left behind by a dead-and-recycled proc can never resume the wrong
+// incarnation.
 type Proc struct {
 	eng      *Engine
 	name     string
+	gen      uint64 // incarnation tag; bumped at every death
 	state    string // park reason for non-sleep parks, for deadlock diagnosis
 	asleep   bool   // parked in SleepUntil; deadline holds the wake time
 	deadline Time
-	dispatch func() // reusable event callback: dispatches this proc
+	fn       func(p *Proc) // body of the armed (or running) incarnation
 	resume   chan struct{}
 	exited   chan struct{}
 	killed   bool
-	dead     bool
+	dead     bool // no live incarnation (idle on the free list)
+	daemon   bool // excluded from NumBlocked (dispatchers, pool workers...)
 }
 
 // procKilled is panicked inside a proc goroutine when the engine shuts
-// down; the spawn wrapper recovers it so the goroutine exits cleanly.
+// down; the goroutine's top frame recovers it so the goroutine exits
+// cleanly.
 type procKilled struct{}
 
 // Go spawns a new simulated process that starts at the current virtual
 // time. The name appears in deadlock diagnostics. fn runs to completion
-// unless the engine is closed first.
+// unless the engine is closed first. The returned Proc is only valid for
+// the lifetime of fn: once fn returns, the engine may recycle the object
+// for a later Go.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		exited: make(chan struct{}),
+	return e.spawn(name, fn, false)
+}
+
+// GoDaemon is Go for procs that intentionally never exit — message
+// dispatchers, disk server loops, parked service-pool workers. Daemons
+// are excluded from NumBlocked, so "no procs blocked after the run"
+// remains a meaningful leak check; they still appear in BlockedProcs.
+func (e *Engine) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	if e.closed {
+		// The engine rejects new work after Close; hand back an inert
+		// dead proc so callers need no special case.
+		return &Proc{eng: e, name: name, dead: true}
 	}
-	// One dispatch closure per proc, reused by every sleep and wake-up,
-	// instead of a fresh allocation per event.
-	p.dispatch = func() { e.dispatch(p) }
-	e.At(e.now, func() {
-		go p.top(fn)
-		e.procs[p] = struct{}{}
-		e.dispatch(p)
-	})
+	var p *Proc
+	if n := len(e.free); n > 0 {
+		p = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		p.dead = false
+	} else {
+		p = &Proc{
+			eng:    e,
+			resume: make(chan struct{}),
+			exited: make(chan struct{}),
+		}
+		go p.top()
+	}
+	p.name = name
+	p.fn = fn
+	p.daemon = daemon
+	e.procs[p] = struct{}{}
+	e.atProc(e.now, p) // start token: dispatches p when it fires
 	return p
 }
 
-// top is the outermost frame of a proc goroutine.
-func (p *Proc) top(fn func(p *Proc)) {
+// top is the outermost frame of a proc goroutine. One goroutine serves
+// many incarnations: it waits to be dispatched, runs the armed body, and
+// — after the body returns and the proc is retired — waits to be re-armed
+// by a later Go.
+func (p *Proc) top() {
 	defer func() {
-		p.dead = true
 		close(p.exited)
 		if r := recover(); r != nil {
 			if _, ok := r.(procKilled); ok {
@@ -58,15 +95,51 @@ func (p *Proc) top(fn func(p *Proc)) {
 			}
 			panic(r)
 		}
-		// Normal completion: this goroutine still holds the execution
-		// token, so keep firing events here until the token moves on.
-		delete(p.eng.procs, p)
-		if p.eng.loop(nil) != tokenMoved {
-			p.eng.rootWake <- struct{}{}
-		}
 	}()
-	<-p.resume // wait for first dispatch
-	fn(p)
+	for {
+		if _, ok := <-p.resume; !ok || p.killed {
+			panic(procKilled{})
+		}
+		p.run()
+	}
+}
+
+// run executes body functions, starting with the currently armed one.
+// When a body returns, the proc retires but its goroutine still holds the
+// execution token, so it keeps firing events in place; if one of those
+// events starts this proc's next incarnation (the engine recycled it),
+// the goroutine continues straight into the new body with no channel
+// operation at all.
+func (p *Proc) run() {
+	e := p.eng
+	for {
+		fn := p.fn
+		p.fn = nil
+		fn(p)
+		p.retire()
+		switch e.loop(p) {
+		case tokenSelf:
+			continue // recycled and dispatched again: run the new body
+		case tokenDrained:
+			e.rootWake <- struct{}{}
+		case tokenMoved:
+		}
+		return
+	}
+}
+
+// retire ends the current incarnation: the proc leaves the live set and
+// joins the engine's free list. Bumping the generation invalidates any
+// dispatch tokens still queued for the incarnation that just ended.
+func (p *Proc) retire() {
+	p.gen++
+	p.dead = true
+	p.daemon = false
+	p.state = ""
+	p.asleep = false
+	e := p.eng
+	delete(e.procs, p)
+	e.free = append(e.free, p)
 }
 
 // park blocks the calling proc until another party wakes it via
@@ -87,8 +160,7 @@ func (p *Proc) park(state string) {
 		e.rootWake <- struct{}{}
 		fallthrough
 	case tokenMoved:
-		_, ok := <-p.resume
-		if !ok || p.killed {
+		if _, ok := <-p.resume; !ok || p.killed {
 			panic(procKilled{})
 		}
 	}
@@ -131,7 +203,7 @@ func (p *Proc) SleepUntil(t Time) {
 	if t < e.now {
 		t = e.now
 	}
-	e.At(t, p.dispatch)
+	e.atProc(t, p)
 	p.deadline = t
 	p.asleep = true
 	p.park("")

@@ -29,8 +29,17 @@ type syncReq struct {
 	done *sim.WaitGroup
 }
 
-// Server is the traditional-caching IOP: a dispatcher that spawns one
-// handler thread per incoming request over a shared block cache.
+// prefetch is a pool work item asking for one block to be pulled into
+// the cache ahead of demand.
+type prefetch struct {
+	block int
+}
+
+// Server is the traditional-caching IOP: a dispatcher daemon that hands
+// each incoming request to a pool of persistent handler threads over a
+// shared block cache. The modeled 1994 server still pays ThreadCreate
+// CPU per request — pooling the simulator's procs changes the host cost
+// of a handler, not the simulated cost model.
 type Server struct {
 	m     *cluster.Machine
 	node  *cluster.Node
@@ -39,23 +48,29 @@ type Server struct {
 	cache *blockCache
 	m2    Metrics
 
-	outstanding  *sim.WaitGroup // in-flight handler threads
-	handlerName  string         // precomputed proc names: one request per
-	prefetchName string         // virtual nanosecond makes Sprintf here hot
-	pfree        disk.Pool      // reply-payload free list (deterministic: one engine)
+	outstanding *sim.WaitGroup   // in-flight handler work items
+	pool        *sim.ServicePool // persistent handler/prefetch threads
+	syncName    string           // precomputed sync-handler proc name
+	pfree       disk.Pool        // reply-payload free list (deterministic: one engine)
+	pffree      []*prefetch      // prefetch work-item free list
 }
 
 // NewServer builds the caching server for one IOP and starts its
 // dispatcher. nCP sizes the cache: BuffersPerDiskPerCP frames per local
-// disk per CP.
+// disk per CP; the handler pool retains one service thread per cache
+// frame by default (ServiceThreads overrides).
 func NewServer(m *cluster.Machine, node *cluster.Node, f *pfs.File, nCP int, prm Params) *Server {
 	s := &Server{m: m, node: node, f: f, prm: prm}
-	s.handlerName = "tc-handler:" + node.String()
-	s.prefetchName = "tc-prefetch:" + node.String()
+	s.syncName = "tc-sync:" + node.String()
 	frames := prm.BuffersPerDiskPerCP * nCP * s.localDiskCount()
 	s.cache = newBlockCache(s, frames, f.BlockSize)
 	s.outstanding = sim.NewWaitGroup(m.Eng, "tc-outstanding:"+node.String(), 0)
-	m.Eng.Go("tc-dispatch:"+node.String(), s.dispatch)
+	retain := prm.ServiceThreads
+	if retain == 0 {
+		retain = frames
+	}
+	s.pool = sim.NewServicePool(m.Eng, "tc-svc:"+node.String(), retain, s.serveItem)
+	m.Eng.GoDaemon("tc-dispatch:"+node.String(), s.dispatch)
 	return s
 }
 
@@ -91,15 +106,29 @@ func (s *Server) dispatch(p *sim.Proc) {
 		case *request:
 			s.node.CPU.UseFor(p, s.prm.ThreadCreate)
 			s.outstanding.Add(1)
-			s.m.Eng.Go(s.handlerName, func(h *sim.Proc) {
-				s.handle(h, r)
-				s.outstanding.Done()
-			})
+			s.pool.Submit(r)
 		case *syncReq:
-			s.m.Eng.Go("tc-sync:"+s.node.String(), func(h *sim.Proc) { s.handleSync(h, r) })
+			s.m.Eng.Go(s.syncName, func(h *sim.Proc) { s.handleSync(h, r) })
 		default:
 			panic(fmt.Sprintf("tcfs: unexpected message %T", msg))
 		}
+	}
+}
+
+// serveItem is the pool's service function: one file-system request or
+// one prefetch per invocation.
+func (s *Server) serveItem(h *sim.Proc, item any) {
+	switch r := item.(type) {
+	case *request:
+		s.handle(h, r)
+		s.outstanding.Done()
+	case *prefetch:
+		b := s.cache.getRead(h, r.block)
+		s.cache.unpin(b)
+		s.outstanding.Done()
+		s.pffree = append(s.pffree, r)
+	default:
+		panic(fmt.Sprintf("tcfs: unexpected work item %T", item))
 	}
 }
 
@@ -175,13 +204,16 @@ func (s *Server) maybePrefetch(h *sim.Proc, afterBlock int) {
 		}
 		s.m2.Prefetches++
 		s.node.CPU.UseFor(h, s.prm.CacheAccessCPU)
-		block := nb
 		s.outstanding.Add(1)
-		s.m.Eng.Go(s.prefetchName, func(pf *sim.Proc) {
-			b := s.cache.getRead(pf, block)
-			s.cache.unpin(b)
-			s.outstanding.Done()
-		})
+		var pf *prefetch
+		if n := len(s.pffree); n > 0 {
+			pf = s.pffree[n-1]
+			s.pffree = s.pffree[:n-1]
+		} else {
+			pf = new(prefetch)
+		}
+		pf.block = nb
+		s.pool.Submit(pf)
 	}
 }
 
