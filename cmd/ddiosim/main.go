@@ -4,10 +4,17 @@
 // specs cmd/figures runs; see EXPERIMENTS.md) using this command's
 // -trials/-j/-seed/-filemb flags.
 //
+// Observability (see EXPERIMENTS.md "Traces and figures"): -trace and
+// -tracecsv record the run's event trace as JSONL / long-format CSV,
+// and -plot renders SVG — a per-disk utilization timeline for a single
+// run, a paper-style figure for a sweep. Tracing forces a single trial:
+// a trace is one run's story.
+//
 // Example:
 //
 //	ddiosim -method ddio-sort -pattern rc -layout random -record 8
-//	ddiosim -sweep ext-smoke -sweepjson ext-smoke.json
+//	ddiosim -method ddio-sort -pattern rb -trace run.jsonl -plot run.svg
+//	ddiosim -sweep ext-smoke -sweepjson ext-smoke.json -plot ext-smoke.svg
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 
 	"ddio/internal/exp"
 	"ddio/internal/pfs"
+	"ddio/internal/plot"
+	"ddio/internal/trace"
 )
 
 func main() {
@@ -27,6 +36,10 @@ func main() {
 	layout := flag.String("layout", "random", "disk layout: contiguous | random")
 	sweep := flag.String("sweep", "", "run a sweep spec (preset name or JSON file) instead of a single experiment")
 	sweepJSON := flag.String("sweepjson", "", "with -sweep: also write the machine-readable sweep result to this file")
+	sweepCSV := flag.String("sweepcsv", "", "with -sweep: also write the long-format (tidy) per-cell CSV to this file")
+	traceOut := flag.String("trace", "", "write the run's event trace as JSON Lines to this file (single run; forces -trials 1)")
+	traceCSV := flag.String("tracecsv", "", "write the run's event trace as long-format CSV to this file (single run; forces -trials 1)")
+	plotOut := flag.String("plot", "", "write an SVG to this file: a disk-utilization timeline for a single run, the sweep figure with -sweep")
 	flag.IntVar(&cfg.NCP, "cps", cfg.NCP, "number of compute processors")
 	flag.IntVar(&cfg.NIOP, "iops", cfg.NIOP, "number of I/O processors (one bus each)")
 	flag.IntVar(&cfg.NDisks, "disks", cfg.NDisks, "number of disks")
@@ -44,6 +57,9 @@ func main() {
 	flag.Parse()
 
 	if *sweep != "" {
+		if *traceOut != "" || *traceCSV != "" {
+			fmt.Fprintln(os.Stderr, "ddiosim: -trace/-tracecsv record a single run and are ignored with -sweep")
+		}
 		opt := exp.Options{
 			Trials:    *trials,
 			FileBytes: *fileMB * exp.MiB,
@@ -69,10 +85,13 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if err := os.WriteFile(*sweepJSON, data, 0o644); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *sweepJSON)
+			writeOut(*sweepJSON, data)
+		}
+		if *sweepCSV != "" {
+			writeOut(*sweepCSV, []byte(res.LongCSV()))
+		}
+		if *plotOut != "" {
+			writeOut(*plotOut, []byte(plot.SweepFigure(res)))
 		}
 		return
 	}
@@ -93,9 +112,28 @@ func main() {
 	cfg.Pattern = *pattern
 	cfg.FileBytes = *fileMB * exp.MiB
 
-	t, err := exp.NewRunner(*workers, nil).Trials(cfg, *trials)
-	if err != nil {
-		fatal(err)
+	if *sweepJSON != "" || *sweepCSV != "" {
+		fmt.Fprintln(os.Stderr, "ddiosim: -sweepjson/-sweepcsv apply only with -sweep; ignored")
+	}
+	var t *exp.Trial
+	var rec *trace.Recorder
+	if traced := *traceOut != "" || *traceCSV != "" || *plotOut != ""; traced {
+		// A trace is the story of one run; replicated trials would
+		// interleave into nonsense, so tracing forces a single run.
+		if *trials > 1 {
+			fmt.Fprintln(os.Stderr, "ddiosim: tracing records a single run; ignoring -trials")
+		}
+		res, r2, err := exp.TracedRun(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		rec = r2
+		t = &exp.Trial{Results: []*exp.Result{res}, MBps: []float64{res.MBps}, Mean: res.MBps}
+	} else {
+		t, err = exp.NewRunner(*workers, nil).Trials(cfg, *trials)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	r := t.Results[0]
 	fmt.Printf("%s %s on %s layout: %.2f MB/s (cv %.3f over %d trials)\n",
@@ -117,6 +155,51 @@ func main() {
 		}
 		fmt.Printf("  %d simulation events\n", r.Events)
 	}
+
+	if rec != nil {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.WriteJSONL(f); err != nil {
+				fatal(err)
+			}
+			closeOut(f, *traceOut)
+		}
+		if *traceCSV != "" {
+			f, err := os.Create(*traceCSV)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			closeOut(f, *traceCSV)
+		}
+		if *plotOut != "" {
+			title := fmt.Sprintf("disk activity — %v %s, %s layout", cfg.Method, cfg.Pattern, cfg.Layout)
+			writeOut(*plotOut, []byte(plot.UtilizationTimeline(rec, title)))
+		}
+		fmt.Printf("  trace: %d events, mean disk utilization %.0f%%\n",
+			rec.Len(), rec.MeanDiskUtilization(0)*100)
+	}
+}
+
+// writeOut writes one artifact file, reporting it on stderr like the
+// sweep emitters do.
+func writeOut(path string, data []byte) {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func closeOut(f *os.File, path string) {
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func fatal(err error) {

@@ -14,6 +14,14 @@
 // past the paper's 16 CPs/IOPs/disks) or a JSON spec file by path.
 // EXPERIMENTS.md documents every preset and the file format.
 //
+// -plot additionally renders every emitted table as an SVG figure
+// (grouped bars for the pattern grids, line figures for the sweeps),
+// and -trace runs one traced Figure-3a-style transfer per file system
+// (random-blocks, 8-byte records, the rc pattern) and writes its
+// per-disk utilization timeline SVG plus the raw JSONL trace
+// — the time-resolved view behind the paper's "disk-directed I/O keeps
+// the disks busy" claim. See EXPERIMENTS.md "Traces and figures".
+//
 // Example:
 //
 //	figures -fig 3 -trials 5
@@ -22,6 +30,8 @@
 //	figures -sweep fig5-paper            # == -fig 5, via the sweep layer
 //	figures -sweep fig7-ext -json -j 16  # extended axes, JSON artifact
 //	figures -sweep my-sweep.json
+//	figures -sweep fig5-paper -plot      # + fig5-paper.svg
+//	figures -trace -trials 1 -filemb 1   # timeline-{tc,ddio,2phase}.svg
 package main
 
 import (
@@ -33,6 +43,8 @@ import (
 	"time"
 
 	"ddio/internal/exp"
+	"ddio/internal/pfs"
+	"ddio/internal/plot"
 )
 
 func main() {
@@ -46,9 +58,11 @@ func main() {
 	verify := flag.Bool("verify", true, "verify data end to end in every run")
 	workers := flag.Int("j", 0, "concurrent experiment runs (0 = GOMAXPROCS); tables are identical for any -j")
 	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
-	csv := flag.Bool("csv", false, "also write CSV files")
+	csv := flag.Bool("csv", false, "also write CSV files (sweeps also get a long-format *-long.csv)")
 	jsonOut := flag.Bool("json", false, "also write JSON files (sweeps carry per-cell trial statistics)")
-	out := flag.String("out", "", "directory for CSV/JSON output (default: current)")
+	plotOut := flag.Bool("plot", false, "also render every table as an SVG figure")
+	traceRuns := flag.Bool("trace", false, "run one traced Figure-3a-style transfer per file system; write timeline SVGs + JSONL traces")
+	out := flag.String("out", "", "directory for CSV/JSON/SVG output (default: current)")
 	flag.Parse()
 
 	if *listSweeps {
@@ -73,16 +87,29 @@ func main() {
 		}
 	}
 
+	writeOut := func(name string, data []byte) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	// printTable is the shared text + wide-CSV emission; emit adds the
+	// per-table SVG for the figure path (sweeps name their SVG after the
+	// spec instead, see below).
+	printTable := func(t *exp.Table) {
+		fmt.Println(t.Format())
+		fmt.Printf("max cv %.3f\n\n", t.MaxCV())
+		if *csv {
+			writeOut(t.ID+".csv", []byte(t.CSV()))
+		}
+	}
 	emit := func(tables ...*exp.Table) {
 		for _, t := range tables {
-			fmt.Println(t.Format())
-			fmt.Printf("max cv %.3f\n\n", t.MaxCV())
-			if *csv {
-				path := filepath.Join(*out, t.ID+".csv")
-				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-					fatal(err)
-				}
-				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			printTable(t)
+			if *plotOut {
+				writeOut(t.ID+".svg", []byte(plot.FigureSVG(t)))
 			}
 		}
 	}
@@ -100,7 +127,10 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			emit(res.Table)
+			printTable(res.Table)
+			if *csv {
+				writeOut(spec.Name+"-long.csv", []byte(res.LongCSV()))
+			}
 			if *jsonOut {
 				data, err := res.JSON()
 				if err != nil {
@@ -110,12 +140,14 @@ func main() {
 				// table ID: fig5-paper's table carries the historical ID
 				// "fig5", and fig5.json is the bare-Table schema that
 				// `-fig 5 -json` emits — a different format.
-				path := filepath.Join(*out, spec.Name+".json")
-				if err := os.WriteFile(path, data, 0o644); err != nil {
-					fatal(err)
-				}
-				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+				writeOut(spec.Name+".json", data)
 			}
+			if *plotOut {
+				writeOut(spec.Name+".svg", []byte(plot.SweepFigure(res)))
+			}
+		}
+		if *traceRuns {
+			traceFigure3Runs(opt, *out, writeOut)
 		}
 		return
 	}
@@ -138,7 +170,7 @@ func main() {
 	}
 
 	which := map[string]bool{}
-	if *all || (*fig == "" && !*all) {
+	if *all || (*fig == "" && !*traceRuns) {
 		for _, f := range []string{"table1", "3", "4", "5", "6", "7", "8"} {
 			which[f] = true
 		}
@@ -201,6 +233,58 @@ func main() {
 	}
 	if headlines != nil {
 		fmt.Println(headlines.Format())
+	}
+	if *traceRuns {
+		traceFigure3Runs(opt, *out, writeOut)
+	}
+}
+
+// traceFigure3Runs runs one traced Figure-3-style transfer per file
+// system — random-blocks layout, 8-byte records, the cyclic rc pattern,
+// Figure 3a's worst case — and writes each run's per-disk utilization
+// timeline SVG plus its raw JSONL trace. This is the workload where the
+// paper's mechanism is starkest: traditional caching goes
+// request-bound, its disk tracks striped with idle gaps between cache
+// requests, while disk-directed I/O keeps every track near-solid on
+// double-buffered, schedule-ordered transfers. (With 8 KB records both
+// systems are disk-bound and the timelines look alike; the throughput
+// gap there is seek ordering, not idleness.)
+func traceFigure3Runs(opt exp.Options, outDir string, writeOut func(name string, data []byte)) {
+	for _, name := range []string{"tc", "ddio", "2phase"} {
+		method, err := exp.ParseMethod(name)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := exp.DefaultConfig()
+		cfg.FileBytes = opt.FileBytes
+		cfg.Seed = opt.Seed
+		cfg.Verify = opt.Verify
+		cfg.Layout = pfs.RandomBlocks
+		cfg.RecordSize = 8
+		cfg.Pattern = "rc"
+		cfg.Method = method
+		res, rec, err := exp.TracedRun(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace %-6s rc: %6.2f MB/s, mean disk utilization %3.0f%%, %d trace events\n",
+			name, res.MBps, rec.MeanDiskUtilization(0)*100, rec.Len())
+		title := fmt.Sprintf("disk activity — %v, rc pattern, random-blocks layout, 8-byte records", method)
+		writeOut("timeline-"+name+".svg", []byte(plot.UtilizationTimeline(rec, title)))
+		// Streamed, not buffered: large traces would otherwise be held
+		// in memory twice.
+		path := filepath.Join(outDir, "trace-"+name+".jsonl")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 }
 

@@ -25,6 +25,8 @@ import (
 	"ddio/internal/exp"
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
+	"ddio/internal/plot"
+	"ddio/internal/trace"
 )
 
 // MiB is 2^20 bytes; the paper's "Mbytes/s" are MiB/s.
@@ -165,3 +167,38 @@ func LookupSweepPreset(name string) (*SweepSpec, bool) { return exp.LookupPreset
 // ParseSweepSpec parses and validates a JSON sweep-spec file (see
 // EXPERIMENTS.md for the format).
 func ParseSweepSpec(data []byte) (*SweepSpec, error) { return exp.ParseSweepSpec(data) }
+
+// TraceRecorder is a passive event-trace recorder (see internal/trace):
+// attached to a run it captures disk busy/idle intervals, queue depths,
+// request lifecycles, cache occupancy, and interconnect messages as a
+// deterministic seq-ordered stream with JSONL/CSV emitters and derived
+// utilization, bandwidth, and latency views.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one trace record.
+type TraceEvent = trace.Event
+
+// NewTraceRecorder returns an empty enabled recorder; assign it to
+// Config.Trace (or use TracedRun) before running.
+func NewTraceRecorder() *TraceRecorder { return trace.New() }
+
+// TracedRun executes one experiment with a fresh trace recorder
+// attached. Tracing is passive: the run fires the identical event
+// sequence and reports the identical throughput as an untraced run.
+func TracedRun(cfg Config) (*Result, *TraceRecorder, error) { return exp.TracedRun(cfg) }
+
+// SweepFigureSVG renders an executed sweep as a paper-style SVG line
+// figure (the plot counterpart of the Figure 5–8 tables).
+func SweepFigureSVG(res *SweepResult) string { return plot.SweepFigure(res) }
+
+// FigureSVG renders a regenerated table in its natural SVG form:
+// grouped bars for the pattern grids (Figures 3–4), a line figure for
+// the machine-shape sweeps (Figures 5–8).
+func FigureSVG(t *Table) string { return plot.FigureSVG(t) }
+
+// UtilizationTimelineSVG renders a traced run's per-disk busy intervals
+// as a Gantt-style SVG timeline — the picture behind the paper's
+// "disk-directed I/O keeps the disks busy" claim.
+func UtilizationTimelineSVG(rec *TraceRecorder, title string) string {
+	return plot.UtilizationTimeline(rec, title)
+}

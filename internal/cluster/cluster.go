@@ -92,6 +92,7 @@ func New(e *sim.Engine, netCfg netsim.Config, nCP, nIOP int, rng *sim.Rand) *Mac
 
 func (m *Machine) newNode(k Kind, index, netID int) *Node {
 	name := fmt.Sprintf("%v%d", k, index)
+	m.Net.SetNodeName(netID, name)
 	return &Node{
 		Kind:  k,
 		Index: index,

@@ -10,6 +10,7 @@ import (
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
 	"ddio/internal/sim"
+	"ddio/internal/trace"
 )
 
 // collReq is the collective request multicast to every IOP: the access
@@ -34,6 +35,9 @@ type Server struct {
 	pool                       *sim.ServicePool // persistent collective-request service threads
 	bufNames                   [][]string       // precomputed buffer-thread proc names [localDisk][buffer]
 	deliveredName, workersName string           // precomputed per-request WaitGroup names
+	rec                        *trace.Recorder  // event tracing, nil when disabled
+	traceName                  string           // precomputed node label for trace records
+	reqSeq                     int64            // per-server collective-request id in traces
 }
 
 // NewServer builds the disk-directed server for one IOP: a dispatcher
@@ -48,6 +52,8 @@ func NewServer(m *cluster.Machine, node *cluster.Node, f *pfs.File, prm Params) 
 		prm.ServiceThreads = 1
 	}
 	s := &Server{m: m, node: node, f: f, prm: prm}
+	s.rec = m.Eng.Recorder()
+	s.traceName = node.String()
 	for d := range f.Disks {
 		if d%len(m.IOPs) == node.Index {
 			s.localDisks = append(s.localDisks, d)
@@ -86,6 +92,9 @@ func (s *Server) dispatch(p *sim.Proc) {
 // serve executes one collective request end to end on this IOP.
 func (s *Server) serve(p *sim.Proc, req *collReq) {
 	s.m2.Requests++
+	reqID := s.reqSeq
+	s.reqSeq++
+	reqStart := p.Now()
 	// Plan: the per-disk block lists, sorted by physical location when
 	// presorting (Figure 1c), otherwise in file order.
 	totalBlocks := 0
@@ -102,6 +111,10 @@ func (s *Server) serve(p *sim.Proc, req *collReq) {
 		totalBlocks += len(blocks)
 	}
 	s.node.CPU.UseFor(p, s.prm.PlanPerBlockCPU*time.Duration(totalBlocks))
+	// Recorded after planning so the payload (the bytes this IOP will
+	// move) is known; T still carries the arrival time.
+	s.rec.RequestStart(s.traceName, reqID, int64(reqStart), req.write,
+		int64(totalBlocks)*int64(s.f.BlockSize))
 
 	// delivered counts every Memput landed / every block durably
 	// written, so "finished" really means the data has arrived.
@@ -130,6 +143,7 @@ func (s *Server) serve(p *sim.Proc, req *collReq) {
 		}
 	}
 	delivered.Wait(p)
+	s.rec.RequestEnd(s.traceName, reqID, int64(reqStart), int64(p.Now()))
 	s.m.SendFn(s.node, req.src, 0, s.prm.RequestCPU, func(sim.Time) {
 		req.done.Done()
 	})

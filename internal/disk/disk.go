@@ -6,6 +6,7 @@ import (
 
 	"ddio/internal/bus"
 	"ddio/internal/sim"
+	"ddio/internal/trace"
 )
 
 // Request is one I/O command issued to a disk. Reads fill Data at
@@ -61,6 +62,7 @@ type Disk struct {
 	m       Metrics
 	storage map[int64]sector // sector LBN -> stored bytes + backing ref
 	pool    Pool             // free-listed transfer buffers (see pool.go)
+	rec     *trace.Recorder  // event tracing, nil when disabled
 }
 
 // New creates a disk and starts its server process on the engine. b may
@@ -78,7 +80,9 @@ func New(e *sim.Engine, name string, spec *Spec, b *bus.Bus, sched Scheduler) *D
 		g:       newGeom(spec),
 		sched:   sched,
 		storage: make(map[int64]sector),
+		rec:     e.Recorder(),
 	}
+	d.rec.RegisterDisk(name)
 	d.cache = newRACache(d.g)
 	d.wb = wcache{g: d.g}
 	d.queued = sim.NewCond(e, "disk "+name)
@@ -106,6 +110,7 @@ func (d *Disk) Submit(r *Request) {
 	r.cyl, _, _ = d.g.decompose(r.LBN)
 	r.enq = d.eng.Now()
 	d.queue = append(d.queue, r)
+	d.rec.DiskQueue(d.Name, int64(r.enq), len(d.queue))
 	d.queued.Signal()
 }
 
@@ -157,7 +162,8 @@ func (d *Disk) run(p *sim.Proc) {
 
 func (d *Disk) serve(p *sim.Proc, r *Request) {
 	start := p.Now()
-	if r.Count == 0 { // barrier request used by Flush
+	waiting := len(d.queue) // requests still queued behind this one
+	if r.Count == 0 {       // barrier request used by Flush
 		if r.OnDone != nil {
 			r.OnDone(p.Now())
 		}
@@ -170,6 +176,8 @@ func (d *Disk) serve(p *sim.Proc, r *Request) {
 		d.serveRead(p, r)
 	}
 	d.m.Busy += time.Duration(p.Now() - start)
+	d.rec.DiskService(d.Name, int64(start), int64(p.Now()), r.Write,
+		r.Count*int64(d.Spec.SectorSize), waiting)
 	if r.OnDone != nil {
 		r.OnDone(p.Now())
 	}
@@ -221,5 +229,6 @@ func (d *Disk) countSeek(toCyl int64) {
 	if toCyl != d.curCyl {
 		d.m.SeekCount++
 		d.m.SeekCylinders += abs64(toCyl - d.curCyl)
+		d.rec.DiskSeek(d.Name, int64(d.eng.Now()), abs64(toCyl-d.curCyl))
 	}
 }

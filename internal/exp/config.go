@@ -16,6 +16,7 @@ import (
 	"ddio/internal/netsim"
 	"ddio/internal/pfs"
 	"ddio/internal/tcfs"
+	"ddio/internal/trace"
 	"ddio/internal/twophase"
 )
 
@@ -104,6 +105,16 @@ type Config struct {
 	TC tcfs.Params     // traditional-caching tuning
 	DD core.Params     // disk-directed I/O tuning
 	TP twophase.Params // two-phase I/O tuning
+
+	// Trace, when non-nil, receives the run's event trace (disk service
+	// intervals, queue depths, request lifecycles, cache occupancy,
+	// interconnect messages — see internal/trace). Tracing is passive:
+	// the run fires the identical events either way. A recorder belongs
+	// to exactly one run — Runner.Trials strips it from replicated
+	// configs (they would race on the pool), and configs handed to
+	// RunAll directly must not share one. TracedRun wraps the
+	// single-run case.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns the paper's Table 1 configuration: 16 CPs, 16

@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LongCSV renders the sweep result in long ("tidy") format: one row per
+// measured cell, one column per variable, carrying the full per-cell
+// trial statistics (the wide Table.CSV keeps only means, one column per
+// method×pattern). This is the shape external plotting tools
+// (dataframes, gnuplot, vega) and internal/plot's sweep figures both
+// consume: filter by method/pattern, facet by axis value, no header
+// parsing. The trailing max_bw_mbps column repeats each row's hardware
+// ceiling so bandwidth-bound cells are identifiable without a join.
+func (r *SweepResult) LongCSV() string {
+	var b strings.Builder
+	b.WriteString("sweep,figure,axis,value,method,pattern,n,mean_mbps,stddev,cv,min_mbps,max_mbps,max_bw_mbps\n")
+	s := r.Spec
+	nPat := len(s.Patterns)
+	for vi, v := range s.Values {
+		ceiling := 0.0
+		if cells := r.Table.Cells[vi]; len(cells) > 0 {
+			ceiling = cells[len(cells)-1].Mean // trailing max-bw column
+		}
+		for ci, sum := range r.CellStats[vi] {
+			method := s.Methods[ci/nPat]
+			pattern := s.Patterns[ci%nPat]
+			fmt.Fprintf(&b, "%s,%s,%s,%d,%s,%s,%d,%.3f,%.4f,%.4f,%.3f,%.3f,%.3f\n",
+				s.Name, r.Table.ID, s.Axis, v, method, pattern,
+				sum.N, sum.Mean, sum.Stddev, sum.CV, sum.Min, sum.Max, ceiling)
+		}
+	}
+	return b.String()
+}

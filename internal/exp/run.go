@@ -12,6 +12,7 @@ import (
 	"ddio/internal/pfs"
 	"ddio/internal/sim"
 	"ddio/internal/tcfs"
+	"ddio/internal/trace"
 	"ddio/internal/twophase"
 )
 
@@ -85,6 +86,7 @@ func Run(cfg Config) (*Result, error) {
 
 	eng := sim.NewEngine()
 	defer eng.Close()
+	eng.SetRecorder(cfg.Trace) // before machine build: components capture it
 	rng := sim.NewRand(cfg.Seed)
 	m := cluster.New(eng, cfg.Net, cfg.NCP, cfg.NIOP, rng)
 
@@ -263,6 +265,22 @@ func verify(cfg Config, pat hpf.Pattern, dec *hpf.Decomp, f *pfs.File, m *cluste
 		}
 	}
 	return errs
+}
+
+// TracedRun executes one experiment with a fresh event-trace recorder
+// attached and returns both. The traced run fires the identical event
+// sequence (and reports the identical throughput) as an untraced run of
+// the same Config; the recorder holds the time-resolved view — disk
+// busy intervals, queue depths, request latencies, per-link messages —
+// that the Result's end-of-run totals summarize.
+func TracedRun(cfg Config) (*Result, *trace.Recorder, error) {
+	rec := trace.New()
+	cfg.Trace = rec
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rec, nil
 }
 
 // Trial is the aggregate of replicated runs of one configuration.

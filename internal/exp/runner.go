@@ -144,6 +144,13 @@ func (r *Runner) Trials(cfg Config, n int) (*Trial, error) {
 	for i := range cfgs {
 		cfgs[i] = cfg
 		cfgs[i].Seed = trialSeed(cfg.Seed, i)
+		if n > 1 {
+			// A trace recorder serves exactly one run; replicated
+			// configs sharing one would race on the pool (and interleave
+			// into nonsense even sequentially). Trace a single run via
+			// TracedRun instead.
+			cfgs[i].Trace = nil
+		}
 	}
 	results, err := r.RunAll(cfgs, nil)
 	if err != nil {

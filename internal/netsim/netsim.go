@@ -11,9 +11,11 @@
 package netsim
 
 import (
+	"strconv"
 	"time"
 
 	"ddio/internal/sim"
+	"ddio/internal/trace"
 )
 
 // Config holds interconnect parameters.
@@ -46,6 +48,7 @@ type Network struct {
 	cfg  Config
 	nics []nic
 	rng  *sim.Rand
+	rec  *trace.Recorder // event tracing, nil when disabled
 
 	msgs  int64
 	bytes int64
@@ -53,6 +56,7 @@ type Network struct {
 
 type nic struct {
 	in, out *sim.Pipe
+	name    string // endpoint label in traces ("n4", or the node name)
 }
 
 // New builds a network with capacity for nNodes endpoints. If the
@@ -66,16 +70,22 @@ func New(e *sim.Engine, cfg Config, nNodes int, rng *sim.Rand) *Network {
 			cfg.Height++
 		}
 	}
-	n := &Network{eng: e, cfg: cfg, rng: rng.Stream("netjitter")}
+	n := &Network{eng: e, cfg: cfg, rng: rng.Stream("netjitter"), rec: e.Recorder()}
 	n.nics = make([]nic, nNodes)
 	for i := range n.nics {
 		n.nics[i] = nic{
-			in:  sim.NewPipe(e, "nic-in", cfg.LinkBandwidth, cfg.DMASetup),
-			out: sim.NewPipe(e, "nic-out", cfg.LinkBandwidth, cfg.DMASetup),
+			in:   sim.NewPipe(e, "nic-in", cfg.LinkBandwidth, cfg.DMASetup),
+			out:  sim.NewPipe(e, "nic-out", cfg.LinkBandwidth, cfg.DMASetup),
+			name: "n" + strconv.Itoa(i),
 		}
 	}
 	return n
 }
+
+// SetNodeName labels endpoint id in traces (the machine builder passes
+// processor names like "CP3"/"IOP0" so per-link trace totals read in
+// machine terms rather than raw NIC indices).
+func (n *Network) SetNodeName(id int, name string) { n.nics[id].name = name }
 
 // Nodes returns the number of endpoints.
 func (n *Network) Nodes() int { return len(n.nics) }
@@ -120,6 +130,7 @@ func (n *Network) MaxHops() int { return n.cfg.Width/2 + n.cfg.Height/2 }
 func (n *Network) Send(a, b, size int, onSent, deliver func(t sim.Time)) {
 	n.msgs++
 	n.bytes += int64(size)
+	n.rec.NetMsg(n.nics[a].name, n.nics[b].name, int64(n.eng.Now()), int64(size))
 	wire := size + n.cfg.HeaderBytes
 	outStart, outEnd := n.nics[a].out.Reserve(wire)
 	if onSent != nil {

@@ -1,0 +1,365 @@
+package plot
+
+import (
+	"fmt"
+)
+
+// Chart geometry shared by all forms.
+const (
+	marginLeft   = 58.0
+	marginRight  = 18.0
+	titleSize    = 14.0
+	subSize      = 11.0
+	labelSize    = 11.0
+	tickSize     = 10.0
+	legendSize   = 11.0
+	legendSwatch = 10.0
+)
+
+// XYSeries is one named line: Y[i] is the value at category i.
+type XYSeries struct {
+	Label string
+	Y     []float64
+	// Dash, if set, renders the line dashed — used for reference lines
+	// (hardware ceilings) and to keep identity legible past the eight
+	// validated palette slots.
+	Dash bool
+	// Gray renders the series in the recessive reference ink instead of
+	// a categorical slot (it does not consume a slot).
+	Gray bool
+}
+
+// LineChart plots one or more series over a shared ordinal x axis
+// (sweep axis values are ordinal steps — 1, 2, 4, … — so equal spacing,
+// not a linear scale, matches how the paper's figures read).
+type LineChart struct {
+	Title, Subtitle string
+	XLabel, YLabel  string
+	Categories      []string // x positions, in order
+	Series          []XYSeries
+	W, H            float64 // 0 defaults to 720×440
+}
+
+// SVG renders the chart.
+func (c *LineChart) SVG() string {
+	w, h := c.W, c.H
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 440
+	}
+	s := newSVG(w, h)
+	top := headerAndLegend(s, w, c.Title, c.Subtitle, legendEntries(c.Series))
+	bottom := h - 46
+	plotL, plotR := marginLeft, w-marginRight
+	plotT, plotB := top, bottom
+
+	// y scale over [0, max].
+	var ymax float64
+	for _, se := range c.Series {
+		for _, v := range se.Y {
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	ticks := niceTicks(ymax)
+	ymax = ticks[len(ticks)-1]
+	yAt := func(v float64) float64 { return plotB - (v/ymax)*(plotB-plotT) }
+	xAt := func(i int) float64 {
+		if len(c.Categories) == 1 {
+			return (plotL + plotR) / 2
+		}
+		return plotL + float64(i)/float64(len(c.Categories)-1)*(plotR-plotL)
+	}
+
+	// Recessive grid + y ticks.
+	for _, t := range ticks {
+		y := yAt(t)
+		s.line(plotL, y, plotR, y, gridColor, 1, "")
+		s.text(plotL-6, y+3.5, tickLabel(t), "end", tickSize, inkSecondary, 0)
+	}
+	// x ticks.
+	for i, cat := range c.Categories {
+		x := xAt(i)
+		s.line(x, plotB, x, plotB+4, gridColor, 1, "")
+		s.text(x, plotB+16, cat, "middle", tickSize, inkSecondary, 0)
+	}
+	axisLabels(s, w, h, plotT, plotB, c.XLabel, c.YLabel)
+
+	// Series: 2px lines, ≥8px markers, hover tooltips per point.
+	slot := 0
+	for _, se := range c.Series {
+		color := ceilingColor
+		dash := ""
+		if se.Dash {
+			dash = "5 4"
+		}
+		if !se.Gray {
+			color = seriesColor(slot)
+			if slot >= len(seriesColors) {
+				dash = "5 4"
+			}
+			slot++
+		}
+		var pts []point
+		for i, v := range se.Y {
+			if i >= len(c.Categories) {
+				break
+			}
+			pts = append(pts, point{xAt(i), yAt(v)})
+		}
+		s.polyline(pts, color, 2, dash)
+		if !se.Gray {
+			for i, p := range pts {
+				s.groupStart()
+				s.tooltip(fmt.Sprintf("%s @ %s: %.2f", se.Label, c.Categories[i], se.Y[i]))
+				s.circle(p.x, p.y, 4, color)
+				s.groupEnd()
+			}
+		}
+	}
+	return s.String()
+}
+
+// BarSeries is one named bar group member: Y[i] is its value in group i.
+type BarSeries struct {
+	Label string
+	Y     []float64
+}
+
+// GroupedBars plots categories × series as grouped bars (the shape of
+// the paper's Figure 3/4 pattern grids: one group per access pattern,
+// one bar per file system).
+type GroupedBars struct {
+	Title, Subtitle string
+	XLabel, YLabel  string
+	Categories      []string
+	Series          []BarSeries
+	W, H            float64 // 0 auto-sizes W to the category count
+}
+
+// SVG renders the chart.
+func (c *GroupedBars) SVG() string {
+	w, h := c.W, c.H
+	if w == 0 {
+		per := float64(len(c.Series))*12 + 14
+		w = marginLeft + marginRight + per*float64(len(c.Categories))
+		if w < 720 {
+			w = 720
+		}
+	}
+	if h == 0 {
+		h = 440
+	}
+	s := newSVG(w, h)
+	entries := make([]legendEntry, len(c.Series))
+	for i, se := range c.Series {
+		entries[i] = legendEntry{se.Label, seriesColor(i), false}
+	}
+	top := headerAndLegend(s, w, c.Title, c.Subtitle, entries)
+	bottom := h - 46
+	plotL, plotR := marginLeft, w-marginRight
+	plotT, plotB := top, bottom
+
+	var ymax float64
+	for _, se := range c.Series {
+		for _, v := range se.Y {
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	ticks := niceTicks(ymax)
+	ymax = ticks[len(ticks)-1]
+	yAt := func(v float64) float64 { return plotB - (v/ymax)*(plotB-plotT) }
+
+	for _, t := range ticks {
+		y := yAt(t)
+		s.line(plotL, y, plotR, y, gridColor, 1, "")
+		s.text(plotL-6, y+3.5, tickLabel(t), "end", tickSize, inkSecondary, 0)
+	}
+	axisLabels(s, w, h, plotT, plotB, c.XLabel, c.YLabel)
+
+	groupW := (plotR - plotL) / float64(len(c.Categories))
+	// 2px surface gap between adjacent bars; bars fill the group minus
+	// inter-group padding.
+	pad := groupW * 0.2
+	barW := (groupW - pad - 2*float64(len(c.Series)-1)) / float64(len(c.Series))
+	for gi, cat := range c.Categories {
+		gx := plotL + float64(gi)*groupW + pad/2
+		for si, se := range c.Series {
+			if gi >= len(se.Y) {
+				continue
+			}
+			v := se.Y[gi]
+			x := gx + float64(si)*(barW+2)
+			y := yAt(v)
+			s.groupStart()
+			s.tooltip(fmt.Sprintf("%s / %s: %.2f", cat, se.Label, v))
+			s.rect(x, y, barW, plotB-y, seriesColor(si), 2)
+			s.groupEnd()
+		}
+		s.text(plotL+float64(gi)*groupW+groupW/2, plotB+16, cat, "middle", tickSize, inkSecondary, 0)
+	}
+	s.line(plotL, plotB, plotR, plotB, gridColor, 1, "")
+	return s.String()
+}
+
+// Span is one busy interval on a timeline row, in seconds.
+type Span struct {
+	Start, End float64
+}
+
+// TimelineRow is one component's activity track.
+type TimelineRow struct {
+	Label string
+	Spans []Span
+	Util  float64 // busy fraction over the horizon, direct-labeled
+}
+
+// Timeline is a Gantt-style utilization chart: one track per component,
+// filled where the component was busy. With every track the same entity
+// kind (disks), the fill uses a single hue; the per-row utilization
+// percentage is direct-labeled so the picture reads without measuring.
+type Timeline struct {
+	Title, Subtitle string
+	XLabel          string
+	Rows            []TimelineRow
+	Horizon         float64 // x extent, seconds; 0 uses the max span end
+	W, H            float64 // 0 defaults to 720 × fit-to-rows
+}
+
+// SVG renders the timeline.
+func (c *Timeline) SVG() string {
+	const rowH, rowGap = 16.0, 6.0
+	w := c.W
+	if w == 0 {
+		w = 720
+	}
+	top := 46.0
+	if c.Subtitle != "" {
+		top += 16
+	}
+	h := c.H
+	if h == 0 {
+		h = top + float64(len(c.Rows))*(rowH+rowGap) + 42
+	}
+	horizon := c.Horizon
+	if horizon == 0 {
+		for _, r := range c.Rows {
+			for _, sp := range r.Spans {
+				if sp.End > horizon {
+					horizon = sp.End
+				}
+			}
+		}
+	}
+	if horizon == 0 {
+		horizon = 1
+	}
+	s := newSVG(w, h)
+	s.text(marginLeft, 20, c.Title, "start", titleSize, inkPrimary, 0)
+	if c.Subtitle != "" {
+		s.text(marginLeft, 38, c.Subtitle, "start", subSize, inkSecondary, 0)
+	}
+	plotL, plotR := marginLeft, w-marginRight-40 // room for util labels
+	xAt := func(t float64) float64 { return plotL + (t/horizon)*(plotR-plotL) }
+
+	// x grid in milliseconds.
+	ticksMs := niceTicks(horizon * 1e3)
+	plotB := h - 38
+	for _, tm := range ticksMs {
+		t := tm / 1e3
+		if t > horizon {
+			break
+		}
+		x := xAt(t)
+		s.line(x, top-4, x, plotB, gridColor, 1, "")
+		s.text(x, plotB+14, tickLabel(tm), "middle", tickSize, inkSecondary, 0)
+	}
+	xl := c.XLabel
+	if xl == "" {
+		xl = "time (ms)"
+	}
+	s.text((plotL+plotR)/2, h-8, xl, "middle", labelSize, inkSecondary, 0)
+
+	for i, r := range c.Rows {
+		y := top + float64(i)*(rowH+rowGap)
+		s.text(plotL-6, y+rowH-4, r.Label, "end", tickSize, inkSecondary, 0)
+		s.rect(plotL, y, plotR-plotL, rowH, gridColor, 2) // idle track
+		s.groupStart()
+		s.tooltip(fmt.Sprintf("%s: %.0f%% busy", r.Label, r.Util*100))
+		for _, sp := range r.Spans {
+			x0, x1 := xAt(sp.Start), xAt(sp.End)
+			if x1-x0 < 0.5 {
+				x1 = x0 + 0.5 // keep instantaneous service visible
+			}
+			s.rect(x0, y, x1-x0, rowH, seriesColors[0], 0)
+		}
+		s.groupEnd()
+		s.text(plotR+6, y+rowH-4, fmt.Sprintf("%.0f%%", r.Util*100), "start", tickSize, inkPrimary, 0)
+	}
+	return s.String()
+}
+
+// legendEntry is one swatch + label.
+type legendEntry struct {
+	label string
+	color string
+	dash  bool
+}
+
+func legendEntries(series []XYSeries) []legendEntry {
+	var out []legendEntry
+	slot := 0
+	for _, se := range series {
+		e := legendEntry{label: se.Label, dash: se.Dash}
+		if se.Gray {
+			e.color = ceilingColor
+			e.dash = true
+		} else {
+			e.color = seriesColor(slot)
+			slot++
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// headerAndLegend draws the title block and (for ≥ 2 entries) a legend
+// row, returning the y where the plot area starts.
+func headerAndLegend(s *svg, w float64, title, subtitle string, entries []legendEntry) float64 {
+	s.text(marginLeft, 20, title, "start", titleSize, inkPrimary, 0)
+	y := 28.0
+	if subtitle != "" {
+		s.text(marginLeft, 38, subtitle, "start", subSize, inkSecondary, 0)
+		y = 46
+	}
+	if len(entries) >= 2 {
+		x := marginLeft
+		ly := y + 10
+		for _, e := range entries {
+			if e.dash {
+				s.line(x, ly-3, x+legendSwatch+3, ly-3, e.color, 2, "4 3")
+			} else {
+				s.rect(x, ly-8, legendSwatch, legendSwatch, e.color, 2)
+			}
+			s.text(x+legendSwatch+6, ly, e.label, "start", legendSize, inkSecondary, 0)
+			x += legendSwatch + 12 + 6.4*float64(len(e.label))
+		}
+		y = ly + 14
+	}
+	return y + 8
+}
+
+// axisLabels draws the x and y axis titles.
+func axisLabels(s *svg, w, h, plotT, plotB float64, xLabel, yLabel string) {
+	if xLabel != "" {
+		s.text((marginLeft+w-marginRight)/2, h-8, xLabel, "middle", labelSize, inkSecondary, 0)
+	}
+	if yLabel != "" {
+		s.text(16, (plotT+plotB)/2, yLabel, "middle", labelSize, inkSecondary, -90)
+	}
+}

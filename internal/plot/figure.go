@@ -1,0 +1,118 @@
+package plot
+
+// figure.go adapts the repository's result types — sweep results,
+// figure tables, event traces — onto the chart forms.
+
+import (
+	"fmt"
+
+	"ddio/internal/exp"
+	"ddio/internal/trace"
+)
+
+// SweepFigure renders an executed sweep as a paper-style figure: the
+// swept axis along x, one line per method×pattern column, and the
+// hardware ceiling as a dashed reference line — the SVG counterpart of
+// the row-per-value tables Figures 5–8 print.
+func SweepFigure(res *exp.SweepResult) string {
+	sub := res.Spec.Name
+	if t := res.Table; t.Note != "" {
+		sub = fmt.Sprintf("%s · %s", res.Spec.Name, t.Note)
+	}
+	return TableLines(res.Table, sub)
+}
+
+// TableLines renders a sweep-shaped table (numeric axis values as rows,
+// method×pattern columns, optional trailing max-bw ceiling) as a line
+// figure. SweepFigure wraps it when the spec is at hand.
+func TableLines(t *exp.Table, subtitle string) string {
+	c := &LineChart{
+		Title:      fmt.Sprintf("%s — %s", t.ID, t.Title),
+		Subtitle:   subtitle,
+		XLabel:     t.RowLabel,
+		YLabel:     "throughput (MB/s)",
+		Categories: t.Rows,
+	}
+	if subtitle == "" && t.Note != "" {
+		c.Subtitle = t.Note
+	}
+	for ci, col := range t.Cols {
+		se := XYSeries{Label: col}
+		if col == "max-bw" {
+			se.Label = "max bandwidth"
+			se.Gray, se.Dash = true, true
+		}
+		for vi := range t.Rows {
+			se.Y = append(se.Y, t.Cells[vi][ci].Mean)
+		}
+		c.Series = append(c.Series, se)
+	}
+	return c.SVG()
+}
+
+// FigureSVG renders a table in its natural figure form: grouped bars
+// for the pattern grids (Figures 3–4, row label "pattern"), a line
+// figure for the numeric-axis machine-shape sweeps (Figures 5–8).
+func FigureSVG(t *exp.Table) string {
+	if t.RowLabel == "pattern" {
+		return TableBars(t)
+	}
+	return TableLines(t, "")
+}
+
+// TableBars renders a pattern-grid table (Figures 3–4: rows are access
+// patterns, columns are file systems) as grouped bars. Any trailing
+// max-bw column is dropped — a ceiling is a reference line, not a bar.
+func TableBars(t *exp.Table) string {
+	c := &GroupedBars{
+		Title:      fmt.Sprintf("%s — %s", t.ID, t.Title),
+		Subtitle:   t.Note,
+		XLabel:     t.RowLabel,
+		YLabel:     "throughput (MB/s)",
+		Categories: t.Rows,
+	}
+	for ci, col := range t.Cols {
+		if col == "max-bw" {
+			continue
+		}
+		se := BarSeries{Label: col}
+		for vi := range t.Rows {
+			se.Y = append(se.Y, t.Cells[vi][ci].Mean)
+		}
+		c.Series = append(c.Series, se)
+	}
+	return c.SVG()
+}
+
+// UtilizationTimeline renders a traced run's per-disk busy intervals as
+// a Gantt-style timeline — the picture behind the paper's mechanism
+// claim: under disk-directed I/O the tracks are near-solid (disks
+// continuously busy on double-buffered, schedule-ordered transfers);
+// under traditional caching they are striped with idle gaps between
+// cache misses. The subtitle carries the mean utilization so the claim
+// is checkable at a glance.
+func UtilizationTimeline(rec *trace.Recorder, title string) string {
+	horizon := rec.End()
+	tls := rec.DiskTimelines(horizon)
+	var mean float64
+	for _, tl := range tls {
+		mean += tl.Util
+	}
+	if len(tls) > 0 {
+		mean /= float64(len(tls))
+	}
+	c := &Timeline{
+		Title: title,
+		Subtitle: fmt.Sprintf("mean disk utilization %.0f%% over %.1f ms",
+			mean*100, float64(horizon)/1e6),
+		Horizon: float64(horizon) / 1e9,
+	}
+	for _, tl := range tls {
+		row := TimelineRow{Label: tl.Name, Util: tl.Util}
+		for _, iv := range tl.Busy {
+			row.Spans = append(row.Spans, Span{Start: float64(iv.Start) / 1e9, End: float64(iv.End) / 1e9})
+		}
+		c.Rows = append(c.Rows, row)
+	}
+	return c.SVG()
+}

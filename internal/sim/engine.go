@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"ddio/internal/trace"
 )
 
 // Time is an absolute virtual time in nanoseconds since the start of the
@@ -82,7 +84,8 @@ type Engine struct {
 	free     []*Proc // dead procs (with parked goroutines) awaiting reuse
 	running  bool
 	closed   bool
-	events   int64 // total events fired, for diagnostics
+	events   int64           // total events fired, for diagnostics
+	rec      *trace.Recorder // nil unless event tracing is attached
 }
 
 // NewEngine returns a new engine with the clock at zero, no pending
@@ -103,6 +106,18 @@ func NewEngineWithQueue(k QueueKind) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetRecorder attaches an event-trace recorder (nil detaches). The
+// recorder is passive — it never schedules events — so a traced run
+// fires the identical event sequence as an untraced one. Attach before
+// building the machine: components capture the recorder when they are
+// constructed.
+func (e *Engine) SetRecorder(r *trace.Recorder) { e.rec = r }
+
+// Recorder returns the attached trace recorder. A nil result is a valid
+// "tracing off" recorder: all its record methods are no-ops, so
+// instrumentation sites use the return unconditionally.
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
 
 // Events returns the number of events fired so far (diagnostic).
 func (e *Engine) Events() int64 { return e.events }

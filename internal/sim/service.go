@@ -93,7 +93,9 @@ func (w *svcWorker) main(p *Proc) {
 	for {
 		item := w.item
 		w.item = nil
+		start := sp.eng.now
 		sp.serve(p, item)
+		sp.eng.rec.PoolBusy(sp.procName, int64(start), int64(sp.eng.now))
 		if sp.workers > sp.retain {
 			sp.workers--
 			sp.freeW = append(sp.freeW, w)

@@ -138,6 +138,20 @@ func (w *WaitGroup) Add(delta int) {
 // Done decrements the counter by one.
 func (w *WaitGroup) Done() { w.Add(-1) }
 
+// Reset re-arms a drained WaitGroup with a fresh count so callers can
+// pool per-request WaitGroups instead of allocating one per operation.
+// Resetting while the counter is nonzero or waiters are parked panics:
+// that would silently detach them from their outcome.
+func (w *WaitGroup) Reset(count int) {
+	if w.count != 0 || len(w.waits) != 0 {
+		panic("sim: Reset of an in-use WaitGroup " + w.name)
+	}
+	if count < 0 {
+		panic("sim: negative WaitGroup counter " + w.name)
+	}
+	w.count = count
+}
+
 // Count returns the current counter value.
 func (w *WaitGroup) Count() int { return w.count }
 

@@ -74,6 +74,13 @@ func newBlockCache(s *Server, frames, blockSize int) *blockCache {
 // lookup returns the buffer holding block, or nil.
 func (c *blockCache) lookup(block int) *buffer { return c.index[block] }
 
+// noteOccupancy traces the cache's occupied-frame count; called after
+// every install or eviction so the trace carries a step function of
+// buffer occupancy over time.
+func (c *blockCache) noteOccupancy(t sim.Time) {
+	c.s.rec.Buffer(c.s.traceName, int64(t), len(c.index), len(c.bufs))
+}
+
 // getRead returns a pinned, valid buffer holding block, reading it from
 // disk on a miss. The caller must unpin.
 func (c *blockCache) getRead(p *sim.Proc, block int) *buffer {
@@ -102,6 +109,7 @@ func (c *blockCache) getRead(p *sim.Proc, block int) *buffer {
 		b.state = bufReading
 		b.pins++
 		c.index[block] = b
+		c.noteOccupancy(p.Now())
 		c.s.m2.CacheMiss++
 		data := c.s.diskReadBlock(p, block)
 		copy(b.data, data)
@@ -146,6 +154,7 @@ func (c *blockCache) getWrite(p *sim.Proc, block int) *buffer {
 		b.pins++
 		b.lastUse = p.Now()
 		c.index[block] = b
+		c.noteOccupancy(p.Now())
 		c.s.m2.CacheMiss++
 		return b
 	}
@@ -195,6 +204,7 @@ func (c *blockCache) acquire(p *sim.Proc) *buffer {
 				continue // state changed while flushing; re-scan
 			}
 			delete(c.index, victim.block)
+			c.noteOccupancy(p.Now())
 			victim.reset(c.blockSize)
 		}
 		victim.state = bufReading // reserve the frame for the caller

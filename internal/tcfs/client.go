@@ -21,6 +21,12 @@ type Client struct {
 	barrier *sim.Barrier
 	end     sim.Time
 	memBase []int64 // optional per-CP offset added to all memory addresses
+
+	// wgfree pools the per-request reply-tracking WaitGroups (one per
+	// block piece — the top allocation source on message-heavy runs).
+	// The engine is single-threaded, so a plain LIFO list is safe and
+	// reuse order is deterministic.
+	wgfree []*sim.WaitGroup
 }
 
 // SetMemBase offsets every CP's memory addresses by base[cp]; two-phase
@@ -52,6 +58,23 @@ func NewClient(m *cluster.Machine, f *pfs.File, dec *hpf.Decomp, servers []*Serv
 // EndTime returns the time the coordinator observed transfer completion
 // (all replies received and all IOPs synced), valid after the run.
 func (c *Client) EndTime() sim.Time { return c.end }
+
+// getWG takes a one-shot reply WaitGroup (count 1) from the free list,
+// or makes one on first use.
+func (c *Client) getWG() *sim.WaitGroup {
+	if n := len(c.wgfree); n > 0 {
+		wg := c.wgfree[n-1]
+		c.wgfree[n-1] = nil
+		c.wgfree = c.wgfree[:n-1]
+		wg.Reset(1)
+		return wg
+	}
+	return sim.NewWaitGroup(c.m.Eng, "tc-req", 1)
+}
+
+// putWG recycles a drained reply WaitGroup. Callers only recycle after
+// Wait returned, so no Done event or waiter can still reference it.
+func (c *Client) putWG(wg *sim.WaitGroup) { c.wgfree = append(c.wgfree, wg) }
 
 // cpReq is one block-piece request to be issued.
 type cpReq struct {
@@ -91,8 +114,9 @@ func (c *Client) issue(p *sim.Proc, cpNode *cluster.Node, pieces []cpReq, write 
 	for _, rq := range pieces {
 		if prev := outstanding[rq.disk]; prev != nil {
 			prev.Wait(p)
+			c.putWG(prev)
 		}
-		done := sim.NewWaitGroup(c.m.Eng, "tc-req", 1)
+		done := c.getWG()
 		outstanding[rq.disk] = done
 		msg := &request{
 			write:  write,
@@ -114,6 +138,7 @@ func (c *Client) issue(p *sim.Proc, cpNode *cluster.Node, pieces []cpReq, write 
 	for _, wg := range outstanding {
 		if wg != nil {
 			wg.Wait(p)
+			c.putWG(wg)
 		}
 	}
 	for i := range outstanding {

@@ -8,6 +8,7 @@ import (
 	"ddio/internal/disk"
 	"ddio/internal/pfs"
 	"ddio/internal/sim"
+	"ddio/internal/trace"
 )
 
 // request is one CP→IOP file-system call for a piece of a single block.
@@ -53,6 +54,9 @@ type Server struct {
 	syncName    string           // precomputed sync-handler proc name
 	pfree       disk.Pool        // reply-payload free list (deterministic: one engine)
 	pffree      []*prefetch      // prefetch work-item free list
+	rec         *trace.Recorder  // event tracing, nil when disabled
+	traceName   string           // precomputed node label for trace records
+	reqSeq      int64            // per-server request id for trace correlation
 }
 
 // NewServer builds the caching server for one IOP and starts its
@@ -61,7 +65,9 @@ type Server struct {
 // frame by default (ServiceThreads overrides).
 func NewServer(m *cluster.Machine, node *cluster.Node, f *pfs.File, nCP int, prm Params) *Server {
 	s := &Server{m: m, node: node, f: f, prm: prm}
-	s.syncName = "tc-sync:" + node.String()
+	s.rec = m.Eng.Recorder()
+	s.traceName = node.String()
+	s.syncName = "tc-sync:" + s.traceName
 	frames := prm.BuffersPerDiskPerCP * nCP * s.localDiskCount()
 	s.cache = newBlockCache(s, frames, f.BlockSize)
 	s.outstanding = sim.NewWaitGroup(m.Eng, "tc-outstanding:"+node.String(), 0)
@@ -134,12 +140,17 @@ func (s *Server) serveItem(h *sim.Proc, item any) {
 
 func (s *Server) handle(h *sim.Proc, r *request) {
 	s.m2.Requests++
+	id := s.reqSeq
+	s.reqSeq++
+	start := h.Now()
+	s.rec.RequestStart(s.traceName, id, int64(start), r.write, int64(r.n))
 	s.node.CPU.UseFor(h, s.prm.CacheAccessCPU)
 	if r.write {
 		s.handleWrite(h, r)
 	} else {
 		s.handleRead(h, r)
 	}
+	s.rec.RequestEnd(s.traceName, id, int64(start), int64(h.Now()))
 }
 
 func (s *Server) handleRead(h *sim.Proc, r *request) {

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// fieldSet says which optional Event fields a kind populates. Emitters
+// write exactly these fields — legitimate zero values (request id 0,
+// queue depth 0, occupancy 0) are emitted, and fields a kind does not
+// use are absent (JSONL) or empty (CSV), so consumers can tell "zero"
+// from "not applicable".
+type fieldSet struct{ end, write, bytes, depth, cyls, id bool }
+
+var kindFields = [...]fieldSet{
+	KindDiskService: {end: true, write: true, bytes: true, depth: true},
+	KindDiskQueue:   {depth: true},
+	KindDiskSeek:    {cyls: true},
+	KindReqStart:    {write: true, bytes: true, id: true},
+	KindReqEnd:      {end: true, id: true},
+	KindPoolBusy:    {end: true},
+	KindBuffer:      {bytes: true, depth: true},
+	KindNetMsg:      {bytes: true},
+}
+
+// jsonEvent is Event's wire form: stable snake_case keys; pointer
+// fields appear exactly when the event's kind populates them.
+type jsonEvent struct {
+	Seq   int64  `json:"seq"`
+	Kind  string `json:"kind"`
+	T     int64  `json:"t_ns"`
+	End   *int64 `json:"end_ns,omitempty"`
+	Node  string `json:"node,omitempty"`
+	Peer  string `json:"peer,omitempty"`
+	Write *bool  `json:"write,omitempty"`
+	Bytes *int64 `json:"bytes,omitempty"`
+	Depth *int64 `json:"depth,omitempty"`
+	Cyls  *int64 `json:"cyls,omitempty"`
+	ID    *int64 `json:"id,omitempty"`
+}
+
+// WriteJSONL writes the trace as JSON Lines: one event object per line,
+// in seq order. Identical runs produce byte-identical output.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline per event
+	for i := range r.Events() {
+		e := &r.Events()[i]
+		fs := kindFields[e.Kind]
+		je := jsonEvent{Seq: e.Seq, Kind: e.Kind.String(), T: e.T, Node: e.Node, Peer: e.Peer}
+		if fs.end {
+			je.End = &e.End
+		}
+		if fs.write {
+			je.Write = &e.Write
+		}
+		if fs.bytes {
+			je.Bytes = &e.Bytes
+		}
+		if fs.depth {
+			je.Depth = &e.Depth
+		}
+		if fs.cyls {
+			je.Cyls = &e.Cyls
+		}
+		if fs.id {
+			je.ID = &e.ID
+		}
+		if err := enc.Encode(&je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// csvHeader is the long-format column set; every event is one row, with
+// columns unused by its kind left empty.
+const csvHeader = "seq,kind,t_ns,end_ns,node,peer,write,bytes,depth,cyls,id\n"
+
+// WriteCSV writes the trace as long-format (tidy) CSV: one row per
+// event, one column per field, so spreadsheet and dataframe tools can
+// filter by kind without parsing JSON.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(csvHeader); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, e := range r.Events() {
+		fs := kindFields[e.Kind]
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, e.Seq, 10)
+		buf = append(buf, ',')
+		buf = append(buf, e.Kind.String()...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, e.T, 10)
+		buf = append(buf, ',')
+		buf = appendField(buf, e.End, fs.end)
+		buf = append(buf, ',')
+		buf = append(buf, e.Node...)
+		buf = append(buf, ',')
+		buf = append(buf, e.Peer...)
+		buf = append(buf, ',')
+		if fs.write {
+			if e.Write {
+				buf = append(buf, '1')
+			} else {
+				buf = append(buf, '0')
+			}
+		}
+		buf = append(buf, ',')
+		buf = appendField(buf, e.Bytes, fs.bytes)
+		buf = append(buf, ',')
+		buf = appendField(buf, e.Depth, fs.depth)
+		buf = append(buf, ',')
+		buf = appendField(buf, e.Cyls, fs.cyls)
+		buf = append(buf, ',')
+		buf = appendField(buf, e.ID, fs.id)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendField renders v when the kind uses the field, else leaves the
+// column empty.
+func appendField(buf []byte, v int64, used bool) []byte {
+	if !used {
+		return buf
+	}
+	return strconv.AppendInt(buf, v, 10)
+}
