@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ddio/internal/exp"
+	"ddio/internal/fault"
 	"ddio/internal/pfs"
 	"ddio/internal/plot"
 	"ddio/internal/trace"
@@ -40,6 +41,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write the run's event trace as JSON Lines to this file (single run; forces -trials 1)")
 	traceCSV := flag.String("tracecsv", "", "write the run's event trace as long-format CSV to this file (single run; forces -trials 1)")
 	plotOut := flag.String("plot", "", "write an SVG to this file: a disk-utilization timeline for a single run, the sweep figure with -sweep")
+	faultsArg := flag.String("faults", "", "fault plan: inline JSON ({\"disk_error_rate\":0.05,...}) or a plan file; see EXPERIMENTS.md")
 	flag.IntVar(&cfg.NCP, "cps", cfg.NCP, "number of compute processors")
 	flag.IntVar(&cfg.NIOP, "iops", cfg.NIOP, "number of I/O processors (one bus each)")
 	flag.IntVar(&cfg.NDisks, "disks", cfg.NDisks, "number of disks")
@@ -56,6 +58,14 @@ func main() {
 	noDiskCache := flag.Bool("nodiskcache", false, "disable the drive's read-ahead/write-behind cache")
 	flag.Parse()
 
+	var plan *fault.Plan
+	if *faultsArg != "" {
+		var err error
+		if plan, err = fault.ResolvePlan(*faultsArg); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *sweep != "" {
 		if *traceOut != "" || *traceCSV != "" {
 			fmt.Fprintln(os.Stderr, "ddiosim: -trace/-tracecsv record a single run and are ignored with -sweep")
@@ -66,6 +76,7 @@ func main() {
 			Seed:      cfg.Seed,
 			Verify:    cfg.Verify,
 			Workers:   *workers,
+			Faults:    plan,
 		}
 		if *verbose {
 			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
@@ -111,6 +122,7 @@ func main() {
 	}
 	cfg.Pattern = *pattern
 	cfg.FileBytes = *fileMB * exp.MiB
+	cfg.Faults = plan
 
 	if *sweepJSON != "" || *sweepCSV != "" {
 		fmt.Fprintln(os.Stderr, "ddiosim: -sweepjson/-sweepcsv apply only with -sweep; ignored")
@@ -152,6 +164,10 @@ func main() {
 		if r.DD.Requests > 0 {
 			fmt.Printf("  ddio: %d blocks, %d memputs, %d memgets, %d partial-RMW\n",
 				r.DD.Blocks, r.DD.Memputs, r.DD.Memgets, r.DD.PartialBlockRMW)
+		}
+		if f := r.Faults; f != (exp.FaultTotals{}) {
+			fmt.Printf("  faults: %d disk errors, %d retries, %d recovered, %d lost; %d msgs dropped, %d resends, %d spikes\n",
+				f.DiskErrors, f.Retries, f.Recovered, f.Exhausted, f.DroppedMsgs, f.Resends, f.Spikes)
 		}
 		fmt.Printf("  %d simulation events\n", r.Events)
 	}

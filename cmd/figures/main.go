@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"ddio/internal/exp"
+	"ddio/internal/fault"
 	"ddio/internal/pfs"
 	"ddio/internal/plot"
 )
@@ -63,6 +64,7 @@ func main() {
 	plotOut := flag.Bool("plot", false, "also render every table as an SVG figure")
 	traceRuns := flag.Bool("trace", false, "run one traced Figure-3a-style transfer per file system; write timeline SVGs + JSONL traces")
 	out := flag.String("out", "", "directory for CSV/JSON/SVG output (default: current)")
+	faultsArg := flag.String("faults", "", "fault plan for every run: inline JSON or a plan file (sweep specs with their own faults template take precedence)")
 	flag.Parse()
 
 	if *listSweeps {
@@ -79,6 +81,13 @@ func main() {
 		Seed:      *seed,
 		Verify:    *verify,
 		Workers:   *workers,
+	}
+	if *faultsArg != "" {
+		plan, err := fault.ResolvePlan(*faultsArg)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Faults = plan
 	}
 	if !*quiet {
 		start := time.Now()
@@ -144,6 +153,12 @@ func main() {
 			}
 			if *plotOut {
 				writeOut(spec.Name+".svg", []byte(plot.SweepFigure(res)))
+				if svg := plot.SweepTimeFigure(res); svg != "" {
+					// Degradation sweeps get the completion-time companion
+					// figure: recovery stretches time even where the
+					// throughput curves flatten.
+					writeOut(spec.Name+"-time.svg", []byte(svg))
+				}
 			}
 		}
 		if *traceRuns {

@@ -23,6 +23,7 @@ package ddio
 import (
 	"ddio/internal/disk"
 	"ddio/internal/exp"
+	"ddio/internal/fault"
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
 	"ddio/internal/plot"
@@ -168,6 +169,27 @@ func LookupSweepPreset(name string) (*SweepSpec, bool) { return exp.LookupPreset
 // EXPERIMENTS.md for the format).
 func ParseSweepSpec(data []byte) (*SweepSpec, error) { return exp.ParseSweepSpec(data) }
 
+// FaultPlan declares deterministic fault injection for a run: disk
+// stragglers, transient disk errors, interconnect message loss and
+// latency spikes, plus the servers' bounded-retry recovery policy (see
+// internal/fault). Assign one to Config.Faults; nil injects nothing and
+// leaves runs byte-identical to a build without fault injection.
+type FaultPlan = fault.Plan
+
+// FaultTotals aggregates a run's injected faults and recovery outcomes
+// (Result.Faults). DiskErrors always equals Retries + Exhausted: every
+// injected error is either retried away or reported as a loss, never
+// silent.
+type FaultTotals = exp.FaultTotals
+
+// ParseFaultPlan parses and validates a JSON fault plan (durations are
+// nanosecond integers; see EXPERIMENTS.md).
+func ParseFaultPlan(data []byte) (*FaultPlan, error) { return fault.ParsePlan(data) }
+
+// ResolveFaultPlan turns a -faults style argument — inline JSON (starts
+// with '{') or a path to a plan file — into a validated plan.
+func ResolveFaultPlan(arg string) (*FaultPlan, error) { return fault.ResolvePlan(arg) }
+
 // TraceRecorder is a passive event-trace recorder (see internal/trace):
 // attached to a run it captures disk busy/idle intervals, queue depths,
 // request lifecycles, cache occupancy, and interconnect messages as a
@@ -190,6 +212,11 @@ func TracedRun(cfg Config) (*Result, *TraceRecorder, error) { return exp.TracedR
 // SweepFigureSVG renders an executed sweep as a paper-style SVG line
 // figure (the plot counterpart of the Figure 5–8 tables).
 func SweepFigureSVG(res *SweepResult) string { return plot.SweepFigure(res) }
+
+// SweepTimeFigureSVG renders a degradation sweep's completion-time
+// companion figure (empty string for fault-free sweeps, which carry no
+// per-cell times).
+func SweepTimeFigureSVG(res *SweepResult) string { return plot.SweepTimeFigure(res) }
 
 // FigureSVG renders a regenerated table in its natural SVG form:
 // grouped bars for the pattern grids (Figures 3–4), a line figure for

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"ddio/internal/fault"
 	"ddio/internal/netsim"
 	"ddio/internal/sim"
 )
@@ -88,6 +89,16 @@ func New(e *sim.Engine, netCfg netsim.Config, nCP, nIOP int, rng *sim.Rand) *Mac
 		}
 	}
 	return m
+}
+
+// InjectFaults attaches a run's fault injector to the machine's layers
+// (currently the interconnect; disks are attached by the experiment
+// driver, which owns them). A nil injector is the fault-free default.
+func (m *Machine) InjectFaults(in *fault.Injector) {
+	if in == nil {
+		return
+	}
+	m.Net.SetFaults(in.Net())
 }
 
 func (m *Machine) newNode(k Kind, index, netID int) *Node {

@@ -10,7 +10,11 @@
 // the 16× gains of the paper come from.
 package core
 
-import "time"
+import (
+	"time"
+
+	"ddio/internal/fault"
+)
 
 // Params are the disk-directed-I/O software costs and policy knobs.
 type Params struct {
@@ -46,6 +50,9 @@ type Params struct {
 	// GatherScatter batches all runs of a block destined to the same
 	// CP into a single message (the paper's "future work" extension).
 	GatherScatter bool
+	// Retry bounds resubmission of transiently failed disk requests
+	// (fault injection only; the zero policy never retries).
+	Retry fault.RetryPolicy
 }
 
 // DefaultParams returns calibrated defaults (presort off; experiment
@@ -71,4 +78,7 @@ type Metrics struct {
 	Memputs         int64
 	Memgets         int64
 	PartialBlockRMW int64 // write blocks not fully covered by the pattern
+	DiskRetries     int64 // disk-request resubmissions after transient failures
+	DiskRecovered   int64 // failed requests that a retry eventually completed
+	DiskLost        int64 // requests still failing after the retry budget
 }

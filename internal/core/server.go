@@ -149,6 +149,46 @@ func (s *Server) serve(p *sim.Proc, req *collReq) {
 	})
 }
 
+// diskRead is ReadSync with the server's bounded-retry policy: a
+// transient failure sleeps the policy's (doubling) backoff in simulated
+// time and resubmits, up to Retry.Limit times. Exhaustion is counted as
+// a lost request — the experiment layer reports it as a typed failure,
+// never silent loss.
+func (s *Server) diskRead(w *sim.Proc, dd *disk.Disk, lbn, count int64) ([]byte, error) {
+	data, err := dd.TryReadSync(w, lbn, count)
+	for attempt := 1; err != nil && attempt <= s.prm.Retry.Limit; attempt++ {
+		s.m2.DiskRetries++
+		t0 := w.Now()
+		w.Sleep(s.prm.Retry.BackoffFor(attempt))
+		s.rec.Retry(s.traceName, int64(t0), int64(w.Now()), attempt)
+		if data, err = dd.TryReadSync(w, lbn, count); err == nil {
+			s.m2.DiskRecovered++
+		}
+	}
+	if err != nil {
+		s.m2.DiskLost++
+	}
+	return data, err
+}
+
+// diskWrite is WriteSync under the same bounded-retry policy.
+func (s *Server) diskWrite(w *sim.Proc, dd *disk.Disk, lbn int64, data []byte) error {
+	err := dd.TryWriteSync(w, lbn, data)
+	for attempt := 1; err != nil && attempt <= s.prm.Retry.Limit; attempt++ {
+		s.m2.DiskRetries++
+		t0 := w.Now()
+		w.Sleep(s.prm.Retry.BackoffFor(attempt))
+		s.rec.Retry(s.traceName, int64(t0), int64(w.Now()), attempt)
+		if err = dd.TryWriteSync(w, lbn, data); err == nil {
+			s.m2.DiskRecovered++
+		}
+	}
+	if err != nil {
+		s.m2.DiskLost++
+	}
+	return err
+}
+
 // blockIter hands out blocks of one disk's plan to its buffer threads;
 // with two threads this is the paper's double buffering ("letting the
 // disk thread choose which block to transfer next" — the shared queue
@@ -176,7 +216,13 @@ func (s *Server) readLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.De
 			return
 		}
 		s.m2.Blocks++
-		data := dd.ReadSync(w, s.f.LBN(b), s.f.SectorsPerBlock())
+		data, err := s.diskRead(w, dd, s.f.LBN(b), s.f.SectorsPerBlock())
+		if err != nil {
+			// Retry budget exhausted: the block is lost (counted in
+			// DiskLost and surfaced as a typed failure by the runner);
+			// nothing was read, so there is no data to deliver or recycle.
+			continue
+		}
 		runs := dec.RunsInRange(int64(b)*bs, bs)
 		if s.prm.GatherScatter {
 			s.memputGather(w, b, data, runs, delivered)
@@ -242,15 +288,19 @@ func (s *Server) writeLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.D
 			// uncovered bytes (read-modify-write) by overlaying the
 			// fetched runs onto the block's current contents.
 			s.m2.PartialBlockRMW++
-			old := dd.ReadSync(w, s.f.LBN(b), s.f.SectorsPerBlock())
-			blockOff := int64(b) * bs
-			for _, r := range runs {
-				copy(old[r.FileOff-blockOff:r.FileOff-blockOff+r.Len], buf[r.FileOff-blockOff:r.FileOff-blockOff+r.Len])
+			if old, err := s.diskRead(w, dd, s.f.LBN(b), s.f.SectorsPerBlock()); err == nil {
+				blockOff := int64(b) * bs
+				for _, r := range runs {
+					copy(old[r.FileOff-blockOff:r.FileOff-blockOff+r.Len], buf[r.FileOff-blockOff:r.FileOff-blockOff+r.Len])
+				}
+				dd.Recycle(buf)
+				buf = old
 			}
-			dd.Recycle(buf)
-			buf = old
+			// On a lost RMW read the fetched runs are written as-is: the
+			// loss of the uncovered bytes is already counted in DiskLost
+			// and reported as a typed failure.
 		}
-		dd.WriteSync(w, s.f.LBN(b), buf)
+		s.diskWrite(w, dd, s.f.LBN(b), buf)
 		dd.Recycle(buf)
 		// Durability is awaited via disk.Flush in serve; 'delivered' is
 		// only tracked for reads.

@@ -1,13 +1,21 @@
 package disk
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"ddio/internal/bus"
+	"ddio/internal/fault"
 	"ddio/internal/sim"
 	"ddio/internal/trace"
 )
+
+// ErrTransient reports a request that the drive failed transiently —
+// the mechanical model charged the drive-internal recovery time but no
+// data moved. Injected only when fault injection is active; a resubmit
+// of the same request may succeed.
+var ErrTransient = errors.New("disk: transient request failure")
 
 // Request is one I/O command issued to a disk. Reads fill Data at
 // completion with a transfer buffer drawn from the disk's free list (the
@@ -23,6 +31,9 @@ type Request struct {
 	Count  int64 // sectors
 	Data   []byte
 	OnDone func(t sim.Time)
+	// Err is set (to ErrTransient) before OnDone when fault injection
+	// failed the request; Data is nil and no media state changed.
+	Err error
 
 	cyl int64
 	enq sim.Time
@@ -40,6 +51,7 @@ type Metrics struct {
 	SectorsWrite  int64
 	QueueWait     time.Duration // sum of time requests spent queued
 	Busy          time.Duration // foreground service time (approximate)
+	Errors        int64         // transient failures injected on this disk
 }
 
 // Disk simulates one drive: a server process draining a request queue
@@ -60,9 +72,10 @@ type Disk struct {
 	queue   []*Request
 	queued  *sim.Cond
 	m       Metrics
-	storage map[int64]sector // sector LBN -> stored bytes + backing ref
-	pool    Pool             // free-listed transfer buffers (see pool.go)
-	rec     *trace.Recorder  // event tracing, nil when disabled
+	storage map[int64]sector  // sector LBN -> stored bytes + backing ref
+	pool    Pool              // free-listed transfer buffers (see pool.go)
+	rec     *trace.Recorder   // event tracing, nil when disabled
+	faults  *fault.DiskFaults // fault injection, nil when disabled
 }
 
 // New creates a disk and starts its server process on the engine. b may
@@ -93,6 +106,11 @@ func New(e *sim.Engine, name string, spec *Spec, b *bus.Bus, sched Scheduler) *D
 // Metrics returns a copy of the disk's activity counters.
 func (d *Disk) Metrics() Metrics { return d.m }
 
+// SetFaults attaches a fault-injection handle. nil (the default) keeps
+// the drive healthy and the service path bit-identical to a build
+// without fault injection. Call before the run starts.
+func (d *Disk) SetFaults(f *fault.DiskFaults) { d.faults = f }
+
 // PoolStats reports how many transfer buffers the disk handed out and
 // how many of those were reused from its free list (diagnostic).
 func (d *Disk) PoolStats() (gets, reuses int64) { return d.pool.gets, d.pool.reuses }
@@ -114,23 +132,46 @@ func (d *Disk) Submit(r *Request) {
 	d.queued.Signal()
 }
 
-// ReadSync submits a read and blocks p until it completes, returning the
-// data.
-func (d *Disk) ReadSync(p *sim.Proc, lbn, count int64) []byte {
+// TryReadSync submits a read and blocks p until it completes, returning
+// the data or the request's failure (ErrTransient under fault
+// injection). Callers that retry use this; ReadSync panics instead.
+func (d *Disk) TryReadSync(p *sim.Proc, lbn, count int64) ([]byte, error) {
 	done := sim.NewWaitGroup(d.eng, "diskread", 1)
 	r := &Request{LBN: lbn, Count: count, OnDone: func(sim.Time) { done.Done() }}
 	d.Submit(r)
 	done.Wait(p)
-	return r.Data
+	return r.Data, r.Err
 }
 
-// WriteSync submits a write and blocks p until the drive accepts it.
-func (d *Disk) WriteSync(p *sim.Proc, lbn int64, data []byte) {
+// ReadSync submits a read and blocks p until it completes, returning the
+// data. A failed request panics: callers without a retry loop must not
+// silently read nothing, and without fault injection requests cannot
+// fail.
+func (d *Disk) ReadSync(p *sim.Proc, lbn, count int64) []byte {
+	data, err := d.TryReadSync(p, lbn, count)
+	if err != nil {
+		panic(fmt.Sprintf("disk %s: unretried read failure: %v", d.Name, err))
+	}
+	return data
+}
+
+// TryWriteSync submits a write and blocks p until the drive accepts it
+// or reports a transient failure.
+func (d *Disk) TryWriteSync(p *sim.Proc, lbn int64, data []byte) error {
 	done := sim.NewWaitGroup(d.eng, "diskwrite", 1)
 	r := &Request{Write: true, LBN: lbn, Count: int64(len(data) / d.Spec.SectorSize), Data: data,
 		OnDone: func(sim.Time) { done.Done() }}
 	d.Submit(r)
 	done.Wait(p)
+	return r.Err
+}
+
+// WriteSync submits a write and blocks p until the drive accepts it,
+// panicking on an unretried failure (see ReadSync).
+func (d *Disk) WriteSync(p *sim.Proc, lbn int64, data []byte) {
+	if err := d.TryWriteSync(p, lbn, data); err != nil {
+		panic(fmt.Sprintf("disk %s: unretried write failure: %v", d.Name, err))
+	}
 }
 
 // Flush blocks p until the write-behind buffer has drained to media and
@@ -170,10 +211,27 @@ func (d *Disk) serve(p *sim.Proc, r *Request) {
 		return
 	}
 	p.Sleep(d.Spec.ControllerOverhead)
+	if d.faults.FailRequest() {
+		// Transient failure: the drive burns its internal recovery time
+		// and reports the error; no data moves, no media state changes.
+		p.Sleep(d.faults.ErrorLatency())
+		r.Err = ErrTransient
+		d.m.Errors++
+		d.m.Busy += time.Duration(p.Now() - start)
+		d.rec.Fault(d.Name, int64(start), "disk-err")
+		d.rec.DiskService(d.Name, int64(start), int64(p.Now()), r.Write, 0, waiting)
+		if r.OnDone != nil {
+			r.OnDone(p.Now())
+		}
+		return
+	}
 	if r.Write {
 		d.serveWrite(p, r)
 	} else {
 		d.serveRead(p, r)
+	}
+	if extra := d.faults.StragglerExtra(start, p.Now()); extra > 0 {
+		p.Sleep(extra)
 	}
 	d.m.Busy += time.Duration(p.Now() - start)
 	d.rec.DiskService(d.Name, int64(start), int64(p.Now()), r.Write,

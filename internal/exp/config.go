@@ -13,6 +13,7 @@ import (
 
 	"ddio/internal/core"
 	"ddio/internal/disk"
+	"ddio/internal/fault"
 	"ddio/internal/netsim"
 	"ddio/internal/pfs"
 	"ddio/internal/tcfs"
@@ -115,6 +116,15 @@ type Config struct {
 	// RunAll directly must not share one. TracedRun wraps the
 	// single-run case.
 	Trace *trace.Recorder
+
+	// Faults, when non-nil and enabled, injects deterministic faults
+	// (disk stragglers, transient disk errors, interconnect loss and
+	// latency spikes — see internal/fault) and arms the servers'
+	// bounded-retry recovery with the plan's policy. nil injects nothing
+	// and leaves the run byte-identical to a build without fault
+	// injection. The plan is read-only during runs and may be shared
+	// across trials and Runner workers.
+	Faults *fault.Plan
 }
 
 // DefaultConfig returns the paper's Table 1 configuration: 16 CPs, 16
@@ -160,6 +170,11 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("exp: no disk spec")
 	case c.BlockSize%c.Disk.SectorSize != 0:
 		return fmt.Errorf("exp: block size %d not a multiple of sector size %d", c.BlockSize, c.Disk.SectorSize)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.NDisks); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ddio/internal/fault"
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
 )
@@ -25,6 +26,10 @@ type Options struct {
 	// Lines are serialized; with Workers > 1 cells complete (and
 	// report) out of table order.
 	Progress func(string)
+	// Faults, when non-nil, is the fault plan injected into every run
+	// (see Config.Faults). Sweep specs with their own Faults template
+	// override it.
+	Faults *fault.Plan
 }
 
 // DefaultOptions mirrors the paper's experimental design.
@@ -37,6 +42,7 @@ func (o Options) base() Config {
 	cfg.FileBytes = o.FileBytes
 	cfg.Seed = o.Seed
 	cfg.Verify = o.Verify
+	cfg.Faults = o.Faults
 	return cfg
 }
 
@@ -55,13 +61,14 @@ func (o Options) trials() int {
 // the resulting cells are bit-identical.
 type cellAgg struct {
 	mbps []float64
+	secs []float64 // completion times, for degradation sweeps
 	left int
 }
 
 func newCellAggs(n, trials int) []cellAgg {
 	aggs := make([]cellAgg, n)
 	for i := range aggs {
-		aggs[i] = cellAgg{mbps: make([]float64, trials), left: trials}
+		aggs[i] = cellAgg{mbps: make([]float64, trials), secs: make([]float64, trials), left: trials}
 	}
 	return aggs
 }
@@ -69,6 +76,7 @@ func newCellAggs(n, trials int) []cellAgg {
 // done records one trial and reports whether the cell is complete.
 func (a *cellAgg) done(trial int, res *Result) bool {
 	a.mbps[trial] = res.MBps
+	a.secs[trial] = res.Elapsed.Seconds()
 	a.left--
 	return a.left == 0
 }

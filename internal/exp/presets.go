@@ -1,5 +1,11 @@
 package exp
 
+import (
+	"time"
+
+	"ddio/internal/fault"
+)
+
 // presets.go is the registry of built-in sweep specs. The *-paper
 // presets ARE the canonical Figures 5–8: Figure5..Figure8 run them, and
 // their expansion is pinned bit-identical to the original hard-coded
@@ -13,6 +19,20 @@ package exp
 // patterns representing the range of performance), fresh per call so
 // preset copies never share slices.
 func sweepPatterns() []string { return []string{"ra", "rn", "rb", "rc"} }
+
+// degradePlan is the fault template the degradation presets start from:
+// a generous retry budget (the sweeps measure graceful degradation, not
+// data loss) with drive-recovery and backoff costs that dominate a
+// faulted request's latency. The swept axis overlays the fault
+// intensity per row; everything here stays fixed.
+func degradePlan() *fault.Plan {
+	return &fault.Plan{
+		DiskErrorLatency:  5 * time.Millisecond,
+		StragglerSlowdown: 4,
+		RetryLimit:        6,
+		RetryBackoff:      2 * time.Millisecond,
+	}
+}
 
 // Presets returns the built-in sweep specs, paper ranges first. Each
 // call returns fresh copies, safe for the caller to modify.
@@ -89,6 +109,45 @@ func Presets() []*SweepSpec {
 			Axis:   AxisRecord,
 			Values: []int{8, 64, 512, 4096, 8192},
 			Layout: "contiguous", Methods: []string{"ddio", "tc"}, Patterns: sweepPatterns(),
+		},
+		{
+			Name: "degrade-fault", Extends: "beyond-paper robustness study",
+			Title:  "throughput vs transient disk-error rate, permille per request (random-blocks, 8 KB records)",
+			Note:   "bounded retry recovers every error; throughput degrades, nothing is lost",
+			Axis:   AxisFaultPM,
+			Values: []int{0, 5, 10, 20, 50, 100},
+			Layout: "random-blocks", Methods: []string{"ddio-sort", "tc", "2phase"}, Patterns: []string{"rb"},
+			Faults: degradePlan(),
+		},
+		{
+			Name: "degrade-straggler", Extends: "beyond-paper robustness study",
+			Title:  "throughput vs number of 4x-slower disks (random-blocks, 8 KB records)",
+			Note:   "stragglers are drawn per seed from a dedicated stream; 0 is the fault-free baseline",
+			Axis:   AxisStragglers,
+			Values: []int{0, 1, 2, 4, 8},
+			Layout: "random-blocks", Methods: []string{"ddio-sort", "tc", "2phase"}, Patterns: []string{"rb"},
+			Faults: degradePlan(),
+		},
+		{
+			Name: "degrade-smoke", Extends: "degrade-fault (tiny CI smoke)",
+			Title:  "throughput vs disk-error rate, permille (smoke axes, all fault models armed)",
+			Note:   "CI smoke preset: 1 trial of a 1 MB file on a 4-CP/4-IOP/4-disk machine",
+			Axis:   AxisFaultPM,
+			Values: []int{0, 20, 80},
+			CPs:    4, IOPs: 4, Disks: 4,
+			Layout: "random-blocks", Methods: []string{"ddio", "tc"}, Patterns: []string{"rb"},
+			Trials: 1, FileMB: 1,
+			Faults: &fault.Plan{
+				Stragglers:        1,
+				StragglerSlowdown: 2,
+				DiskErrorLatency:  2 * time.Millisecond,
+				MsgLossRate:       0.02,
+				ResendTimeout:     100 * time.Microsecond,
+				SpikeRate:         0.01,
+				SpikeLatency:      50 * time.Microsecond,
+				RetryLimit:        6,
+				RetryBackoff:      time.Millisecond,
+			},
 		},
 		{
 			Name: "ext-smoke", Extends: "fig5 (tiny beyond-paper smoke)",

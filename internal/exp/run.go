@@ -8,6 +8,7 @@ import (
 	"ddio/internal/cluster"
 	"ddio/internal/core"
 	"ddio/internal/disk"
+	"ddio/internal/fault"
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
 	"ddio/internal/sim"
@@ -24,6 +25,23 @@ type DiskTotals struct {
 	SeekCylinders          int64         // cylinders crossed, summed
 	QueueWait              time.Duration // total request time spent queued
 	Busy                   time.Duration // total mechanism busy time
+}
+
+// FaultTotals sums what fault injection did to a run and what recovery
+// cost. Zero throughout for fault-free runs. The counting invariant —
+// every injected disk error was either recovered by a retry or counted
+// as exhausted — is DiskErrors == Retries + Exhausted: each recovered
+// request contributes exactly as many resubmissions as failures, and
+// each exhausted request fails Limit+1 times on Limit resubmissions,
+// with the final failure counted here as the loss.
+type FaultTotals struct {
+	DiskErrors  int64 // transient disk failures injected
+	Retries     int64 // disk-request resubmissions by the servers
+	Recovered   int64 // failed requests a retry eventually completed
+	Exhausted   int64 // requests lost after the retry budget — typed failures
+	DroppedMsgs int64 // interconnect messages dropped in the fabric
+	Resends     int64 // retransmissions (equals DroppedMsgs)
+	Spikes      int64 // interconnect latency spikes injected
 }
 
 // Result reports one experiment run.
@@ -45,8 +63,9 @@ type Result struct {
 	NetBytes int64         // interconnect payload bytes
 	IOPBusy  time.Duration // total IOP CPU busy time
 	CPBusy   time.Duration // total CP CPU busy time
-	TC       tcfs.Metrics  // traditional-caching counters (TC runs)
+	TC       tcfs.Metrics  // traditional-caching counters (TC and 2phase runs)
 	DD       core.Metrics  // disk-directed counters (DDIO runs)
+	Faults   FaultTotals   // fault-injection and recovery totals
 	Events   int64         // simulation events fired
 
 	VerifyErrors int // blocks/chunks that failed end-to-end verification
@@ -88,7 +107,16 @@ func Run(cfg Config) (*Result, error) {
 	defer eng.Close()
 	eng.SetRecorder(cfg.Trace) // before machine build: components capture it
 	rng := sim.NewRand(cfg.Seed)
+	// The injector draws only from dedicated "fault-*" sub-streams, so a
+	// nil (or disabled) plan leaves the layout and jitter streams — and
+	// therefore the whole run — bit-identical to a faultless build.
+	inj := fault.NewInjector(cfg.Faults, rng, cfg.NDisks)
+	if pol := inj.Retry(); pol.Enabled() {
+		cfg.TC.Retry = pol // also covers the two-phase path (it runs on tcfs servers)
+		cfg.DD.Retry = pol
+	}
 	m := cluster.New(eng, cfg.Net, cfg.NCP, cfg.NIOP, rng)
+	m.InjectFaults(inj)
 
 	buses := make([]*bus.Bus, cfg.NIOP)
 	for i := range buses {
@@ -97,6 +125,7 @@ func Run(cfg Config) (*Result, error) {
 	disks := make([]*disk.Disk, cfg.NDisks)
 	for d := range disks {
 		disks[d] = disk.New(eng, fmt.Sprintf("d%d", d), cfg.Disk, buses[d%cfg.NIOP], cfg.DiskSched)
+		disks[d].SetFaults(inj.Disk(d))
 	}
 	f, err := pfs.NewFile(disks, cfg.BlockSize, cfg.NumBlocks(), cfg.Layout, rng)
 	if err != nil {
@@ -110,16 +139,10 @@ func Run(cfg Config) (*Result, error) {
 	var collectDD func(r *Result)
 	memBytes := func(cp int) int64 { return dec.CPBytes(cp) }
 
-	switch cfg.Method {
-	case TraditionalCaching:
-		servers := make([]*tcfs.Server, cfg.NIOP)
-		for i := range servers {
-			servers[i] = tcfs.NewServer(m, m.IOPs[i], f, cfg.NCP, cfg.TC)
-		}
-		client := tcfs.NewClient(m, f, dec, servers, cfg.TC)
-		runCP = func(p *sim.Proc, cp int) { client.TransferCP(p, cp, pat.Write) }
-		endTime = client.EndTime
-		collectTC = func(r *Result) {
+	// collectTCFrom sums tcfs server counters into the result; shared by
+	// the TC and two-phase cases (both run on tcfs servers).
+	collectTCFrom := func(servers []*tcfs.Server) func(r *Result) {
+		return func(r *Result) {
 			for _, s := range servers {
 				sm := s.Metrics()
 				r.TC.Requests += sm.Requests
@@ -130,8 +153,23 @@ func Run(cfg Config) (*Result, error) {
 				r.TC.Prefetches += sm.Prefetches
 				r.TC.Flushes += sm.Flushes
 				r.TC.PartialRMW += sm.PartialRMW
+				r.TC.DiskRetries += sm.DiskRetries
+				r.TC.DiskRecovered += sm.DiskRecovered
+				r.TC.DiskLost += sm.DiskLost
 			}
 		}
+	}
+
+	switch cfg.Method {
+	case TraditionalCaching:
+		servers := make([]*tcfs.Server, cfg.NIOP)
+		for i := range servers {
+			servers[i] = tcfs.NewServer(m, m.IOPs[i], f, cfg.NCP, cfg.TC)
+		}
+		client := tcfs.NewClient(m, f, dec, servers, cfg.TC)
+		runCP = func(p *sim.Proc, cp int) { client.TransferCP(p, cp, pat.Write) }
+		endTime = client.EndTime
+		collectTC = collectTCFrom(servers)
 	case DiskDirected, DiskDirectedSort:
 		prm := cfg.DD
 		prm.Presort = cfg.Method == DiskDirectedSort
@@ -150,6 +188,9 @@ func Run(cfg Config) (*Result, error) {
 				r.DD.Memputs += sm.Memputs
 				r.DD.Memgets += sm.Memgets
 				r.DD.PartialBlockRMW += sm.PartialBlockRMW
+				r.DD.DiskRetries += sm.DiskRetries
+				r.DD.DiskRecovered += sm.DiskRecovered
+				r.DD.DiskLost += sm.DiskLost
 			}
 		}
 	case TwoPhase:
@@ -164,6 +205,7 @@ func Run(cfg Config) (*Result, error) {
 		memBytes = client.MemBytes
 		runCP = func(p *sim.Proc, cp int) { client.TransferCP(p, cp, pat.Write) }
 		endTime = client.EndTime
+		collectTC = collectTCFrom(servers)
 	default:
 		return nil, fmt.Errorf("exp: unknown method %v", cfg.Method)
 	}
@@ -238,6 +280,17 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if collectDD != nil {
 		collectDD(r)
+	}
+	if st := inj.Stats(); st != (fault.Stats{}) || r.TC.DiskRetries+r.DD.DiskRetries > 0 {
+		r.Faults = FaultTotals{
+			DiskErrors:  st.DiskErrors,
+			Retries:     r.TC.DiskRetries + r.DD.DiskRetries,
+			Recovered:   r.TC.DiskRecovered + r.DD.DiskRecovered,
+			Exhausted:   r.TC.DiskLost + r.DD.DiskLost,
+			DroppedMsgs: st.DroppedMsgs,
+			Resends:     st.Resends,
+			Spikes:      st.Spikes,
+		}
 	}
 	return r, nil
 }

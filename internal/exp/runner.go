@@ -3,9 +3,45 @@ package exp
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// CellPanicError records a sweep cell whose simulation panicked. The
+// runner recovers the panic in the worker, so one poisoned cell reports
+// a typed error (with the failing cell's full config and stack) while
+// every other cell's table entry completes normally.
+type CellPanicError struct {
+	Config Config // the configuration whose run panicked
+	Value  any    // the recovered panic value
+	Stack  string // goroutine stack at the point of the panic
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("exp: %v/%s seed %d panicked: %v",
+		e.Config.Method, e.Config.Pattern, e.Config.Seed, e.Value)
+}
+
+// FaultLossError reports a run that lost requests after exhausting its
+// retry budget under fault injection. The loss is typed, never silent:
+// any injected transient error not recovered by a retry surfaces here.
+type FaultLossError struct {
+	Method       Method
+	Pattern      string
+	Seed         int64
+	Lost         int64 // requests still failing after the retry budget
+	VerifyErrors int   // end-to-end verification failures, if verification ran
+}
+
+func (e *FaultLossError) Error() string {
+	return fmt.Sprintf("exp: %v/%s seed %d: %d disk requests lost after retry budget (%d verify errors)",
+		e.Method, e.Pattern, e.Seed, e.Lost, e.VerifyErrors)
+}
+
+// runExperiment is the cell-execution hook; tests substitute it to
+// inject failures into specific cells.
+var runExperiment = Run
 
 // Runner executes independent experiment runs on a bounded worker pool.
 // Every simulation is a pure function of its Config (including the
@@ -72,6 +108,13 @@ func (r *Runner) RunAll(cfgs []Config, onDone func(i int, res *Result)) ([]*Resu
 				return nil, err
 			}
 		}
+		// Panicked cells do not fail fast (see runOne); surface the
+		// lowest-indexed one after every other cell has completed.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 		return results, nil
 	}
 	// Fail fast like the sequential path: once any run fails, workers
@@ -109,22 +152,47 @@ func (r *Runner) RunAll(cfgs []Config, onDone func(i int, res *Result)) ([]*Resu
 	return results, nil
 }
 
+// safeRun executes cfgs[i] with panic isolation: a panic inside the
+// simulation becomes a CellPanicError carrying the cell's config, the
+// panic value, and the stack, instead of crashing the whole sweep.
+func safeRun(cfg Config) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = &CellPanicError{Config: cfg, Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	return runExperiment(cfg)
+}
+
 // runOne executes cfgs[i] and slots its outcome. Errors are wrapped
 // with the config's method/pattern/seed so figure generators only need
-// to add the table id.
+// to add the table id. A panicked cell is recorded in its error slot
+// but reported as nil here, so the remaining cells keep running; the
+// typed error surfaces from RunAll's final scan.
 func (r *Runner) runOne(cfgs []Config, i int, results []*Result, errs []error, onDone func(int, *Result)) error {
-	res, err := Run(cfgs[i])
-	if err == nil && res.VerifyErrors > 0 {
+	res, err := safeRun(cfgs[i])
+	_, panicked := err.(*CellPanicError)
+	switch {
+	case panicked:
+		// keep the typed error as-is; it already names the cell
+	case err != nil:
+		err = fmt.Errorf("%v/%s seed %d: %w", cfgs[i].Method, cfgs[i].Pattern, cfgs[i].Seed, err)
+	case res.Faults.Exhausted > 0:
+		err = &FaultLossError{Method: cfgs[i].Method, Pattern: cfgs[i].Pattern, Seed: cfgs[i].Seed,
+			Lost: res.Faults.Exhausted, VerifyErrors: res.VerifyErrors}
+	case res.VerifyErrors > 0:
 		err = fmt.Errorf("exp: %v/%s seed %d: %d verification errors",
 			cfgs[i].Method, cfgs[i].Pattern, cfgs[i].Seed, res.VerifyErrors)
-	} else if err != nil {
-		err = fmt.Errorf("%v/%s seed %d: %w", cfgs[i].Method, cfgs[i].Pattern, cfgs[i].Seed, err)
 	}
 	results[i], errs[i] = res, err
 	if err == nil && onDone != nil {
 		r.mu.Lock()
 		onDone(i, res)
 		r.mu.Unlock()
+	}
+	if panicked {
+		return nil
 	}
 	return err
 }

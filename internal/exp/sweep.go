@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"ddio/internal/fault"
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
 	"ddio/internal/stats"
@@ -27,18 +28,44 @@ const (
 	AxisIOPs   = "iops"   // number of I/O processors (one bus each)
 	AxisDisks  = "disks"  // number of disks
 	AxisRecord = "record" // record size in bytes
+
+	// Degradation axes: fault intensity in per-mille (so the axis stays
+	// integer-valued like every other), applied over the spec's Faults
+	// template. Zero is a valid value — the fault-free baseline row.
+	AxisFaultPM    = "faultpm"    // transient disk-error rate, ‰ per request
+	AxisLossPM     = "losspm"     // interconnect message-loss rate, ‰ per traversal
+	AxisStragglers = "stragglers" // number of straggling disks
 )
 
-// axisInfo maps an axis name to its table row label and the config field
-// it sweeps.
+// axisInfo maps an axis name to its table row label, the config field it
+// sweeps, and the smallest legal axis value (machine-shape axes need at
+// least 1; fault axes include the fault-free 0 baseline). Fault axes
+// clone the cell's plan before mutating it — the template is shared
+// across every cell of the sweep.
 var axisInfo = map[string]struct {
 	rowLabel string
+	min      int
 	apply    func(*Config, int)
 }{
-	AxisCPs:    {"CPs", func(c *Config, v int) { c.NCP = v }},
-	AxisIOPs:   {"IOPs", func(c *Config, v int) { c.NIOP = v }},
-	AxisDisks:  {"disks", func(c *Config, v int) { c.NDisks = v }},
-	AxisRecord: {"record", func(c *Config, v int) { c.RecordSize = v }},
+	AxisCPs:    {"CPs", 1, func(c *Config, v int) { c.NCP = v }},
+	AxisIOPs:   {"IOPs", 1, func(c *Config, v int) { c.NIOP = v }},
+	AxisDisks:  {"disks", 1, func(c *Config, v int) { c.NDisks = v }},
+	AxisRecord: {"record", 1, func(c *Config, v int) { c.RecordSize = v }},
+	AxisFaultPM: {"err-permille", 0, func(c *Config, v int) {
+		p := c.Faults.Clone()
+		p.DiskErrorRate = float64(v) / 1000
+		c.Faults = p
+	}},
+	AxisLossPM: {"loss-permille", 0, func(c *Config, v int) {
+		p := c.Faults.Clone()
+		p.MsgLossRate = float64(v) / 1000
+		c.Faults = p
+	}},
+	AxisStragglers: {"stragglers", 0, func(c *Config, v int) {
+		p := c.Faults.Clone()
+		p.Stragglers = v
+		c.Faults = p
+	}},
 }
 
 // SweepSpec declaratively describes one machine/workload sweep: one
@@ -93,6 +120,12 @@ type SweepSpec struct {
 	// used by smoke presets that must stay cheap no matter the flags.
 	Trials int   `json:"trials,omitempty"` // trials per data point
 	FileMB int64 `json:"filemb,omitempty"` // file size in MiB
+
+	// Faults is the fault-plan template for degradation sweeps: every
+	// cell starts from it (the fault axes then overlay the swept
+	// intensity on a clone). nil keeps the sweep fault-free and its
+	// output byte-identical to before fault injection existed.
+	Faults *fault.Plan `json:"faults,omitempty"`
 }
 
 // Validate checks internal consistency of the spec.
@@ -109,13 +142,28 @@ func (s *SweepSpec) Validate() error {
 	case s.CPs < 0 || s.IOPs < 0 || s.Disks < 0 || s.Record < 0 || s.Trials < 0 || s.FileMB < 0:
 		return fmt.Errorf("exp: sweep %q has negative shape parameters", s.Name)
 	}
-	if _, ok := axisInfo[s.Axis]; !ok {
-		return fmt.Errorf("exp: sweep %q: unknown axis %q (want cps, iops, disks or record)", s.Name, s.Axis)
+	axis, ok := axisInfo[s.Axis]
+	if !ok {
+		return fmt.Errorf("exp: sweep %q: unknown axis %q (want cps, iops, disks, record, faultpm, losspm or stragglers)", s.Name, s.Axis)
 	}
 	for _, v := range s.Values {
-		if v < 1 {
+		if v < axis.min {
 			return fmt.Errorf("exp: sweep %q: axis value %d out of range", s.Name, v)
 		}
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(0); err != nil {
+			return fmt.Errorf("exp: sweep %q: %w", s.Name, err)
+		}
+	}
+	// Degradation axes need a coherent template: injecting disk errors
+	// without a retry budget would be guaranteed data loss, and a
+	// straggler sweep without a slowdown factor would sweep nothing.
+	if s.Axis == AxisFaultPM && s.Faults.Retry().Limit < 1 && maxValue(s.Values) > 0 {
+		return fmt.Errorf("exp: sweep %q: faultpm axis needs a faults template with retry_limit >= 1", s.Name)
+	}
+	if s.Axis == AxisStragglers && maxValue(s.Values) > 0 && (s.Faults == nil || s.Faults.StragglerSlowdown <= 1) {
+		return fmt.Errorf("exp: sweep %q: stragglers axis needs a faults template with straggler_slowdown > 1", s.Name)
 	}
 	if _, err := pfs.ParseLayout(s.Layout); err != nil {
 		return fmt.Errorf("exp: sweep %q: %w", s.Name, err)
@@ -131,6 +179,18 @@ func (s *SweepSpec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// maxValue returns the largest axis value (0 for an empty list;
+// Validate rejects those anyway).
+func maxValue(vs []int) int {
+	m := 0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 // TableID returns the ID the spec's table will carry (ID, defaulting to
@@ -216,6 +276,9 @@ func (s *SweepSpec) Expand(o Options) (*Table, []Config, error) {
 				if s.Disks > 0 {
 					cfg.NDisks = s.Disks
 				}
+				if s.Faults != nil {
+					cfg.Faults = s.Faults
+				}
 				axis.apply(&cfg, v)
 				ceiling = cfg.MaxBandwidthMBps()
 				for k := 0; k < trials; k++ {
@@ -240,6 +303,13 @@ type SweepResult struct {
 	Spec      *SweepSpec        `json:"spec"`       // the spec that ran
 	Table     *Table            `json:"table"`      // rendered figure table
 	CellStats [][]stats.Summary `json:"cell_stats"` // per-cell trial statistics
+	// CellTime is the per-cell completion-time statistics (seconds over
+	// trials), same indexing as CellStats. Populated only for
+	// degradation sweeps (a Faults template is present): under faults,
+	// recovery stretches completion time even when throughput curves
+	// flatten, so both views matter. Absent for fault-free sweeps,
+	// keeping their JSON byte-identical to before fault injection.
+	CellTime [][]stats.Summary `json:"cell_time,omitempty"`
 }
 
 // JSON renders the sweep result as indented JSON.
@@ -281,8 +351,15 @@ func (s *SweepSpec) RunFull(o Options) (*SweepResult, error) {
 	cellsPerRow := len(methods) * len(s.Patterns)
 	trials := o.trials()
 	cellStats := make([][]stats.Summary, len(s.Values))
+	var cellTime [][]stats.Summary
+	if s.Faults != nil {
+		cellTime = make([][]stats.Summary, len(s.Values))
+	}
 	for i := range cellStats {
 		cellStats[i] = make([]stats.Summary, cellsPerRow)
+		if cellTime != nil {
+			cellTime[i] = make([]stats.Summary, cellsPerRow)
+		}
 	}
 	r := o.runner()
 	aggs := newCellAggs(len(s.Values)*cellsPerRow, trials)
@@ -292,6 +369,9 @@ func (s *SweepSpec) RunFull(o Options) (*SweepResult, error) {
 			vi, ci := cell/cellsPerRow, cell%cellsPerRow
 			t.Cells[vi][ci] = aggs[cell].cell()
 			cellStats[vi][ci] = stats.Summarize(aggs[cell].mbps)
+			if cellTime != nil {
+				cellTime[vi][ci] = stats.Summarize(aggs[cell].secs)
+			}
 			r.progressLocked("%s %s=%s %-4s %-9v %7.2f MB/s (cv %.3f)", t.ID, t.RowLabel,
 				t.Rows[vi], s.Patterns[ci%len(s.Patterns)], methods[ci/len(s.Patterns)],
 				t.Cells[vi][ci].Mean, t.Cells[vi][ci].CV)
@@ -300,7 +380,7 @@ func (s *SweepSpec) RunFull(o Options) (*SweepResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", t.ID, err)
 	}
-	return &SweepResult{Spec: s, Table: t, CellStats: cellStats}, nil
+	return &SweepResult{Spec: s, Table: t, CellStats: cellStats, CellTime: cellTime}, nil
 }
 
 // ResolveSweep turns a sweep argument — as the -sweep flags of

@@ -1,0 +1,244 @@
+// Package fault is the simulator's deterministic fault-injection layer:
+// disk stragglers, transient disk errors, and interconnect message loss
+// and latency spikes, all driven by dedicated PRNG sub-streams of the
+// run's seed so that identical seed + identical Plan reproduce the
+// identical fault sequence — and the identical recovery cost — for any
+// worker count.
+//
+// The layer follows the same contract as internal/trace: it is wired
+// into the disk and network layers behind nil-safe handles, so a run
+// with no Plan (or an all-zero Plan) performs exactly the same draws and
+// fires exactly the same events as a build without this package. The
+// recovery half — bounded retry with modeled backoff — lives in the
+// file-system servers (core, tcfs; the two-phase path rides on tcfs),
+// parameterized by the Plan's RetryPolicy, so recovery time is paid in
+// simulated time and measured, never hand-waved.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Default recovery-model costs, applied when the corresponding Plan
+// field is zero. They are deliberately large against the HP 97560's
+// ~20 ms average access: a transient error costs the drive an internal
+// retry/remap cycle, a lost message a protocol timeout.
+const (
+	// DefaultDiskErrorLatency is the drive-internal recovery time a
+	// failed request burns before the error is reported.
+	DefaultDiskErrorLatency = 2 * time.Millisecond
+	// DefaultResendTimeout is the sender-side timeout before a dropped
+	// message is retransmitted.
+	DefaultResendTimeout = 200 * time.Microsecond
+	// DefaultRetryBackoff is the server-side backoff before the first
+	// disk-request retry (doubling per attempt, see RetryPolicy).
+	DefaultRetryBackoff = time.Millisecond
+)
+
+// Plan declares what misbehaves during a run. The zero value (and a nil
+// *Plan) injects nothing; Enabled reports whether any fault model is
+// active. Plans serialize to JSON (all durations are nanosecond
+// integers) so degradation sweeps can be defined in spec files and
+// reproduced exactly.
+type Plan struct {
+	// Stragglers is the number of disks whose service is slowed. The
+	// subset is drawn from the run seed's "fault-straggler" stream, so
+	// it is stable per seed and independent of every other stream.
+	Stragglers int `json:"stragglers,omitempty"`
+	// StragglerSlowdown scales a straggler's service time (must exceed
+	// 1 when Stragglers > 0; 4 means the disk is 4× slower).
+	StragglerSlowdown float64 `json:"straggler_slowdown,omitempty"`
+	// SlowPeriod/SlowWindow confine the slowdown to periodic windows:
+	// a straggler is slow while (now mod SlowPeriod) < SlowWindow.
+	// Both zero means the straggler is slow for the whole run.
+	SlowPeriod time.Duration `json:"slow_period_ns,omitempty"`
+	SlowWindow time.Duration `json:"slow_window_ns,omitempty"`
+
+	// DiskErrorRate is the per-request transient-failure probability,
+	// drawn from a dedicated per-disk stream ("fault-disk:<i>"). A
+	// failed request burns DiskErrorLatency of drive time and reports
+	// disk.ErrTransient instead of moving data.
+	DiskErrorRate    float64       `json:"disk_error_rate,omitempty"`
+	DiskErrorLatency time.Duration `json:"disk_error_latency_ns,omitempty"`
+
+	// MsgLossRate is the per-traversal probability that an interconnect
+	// message is dropped in the fabric; the sender retransmits after
+	// ResendTimeout, re-occupying its NIC for the full message.
+	MsgLossRate   float64       `json:"msg_loss_rate,omitempty"`
+	ResendTimeout time.Duration `json:"resend_timeout_ns,omitempty"`
+	// SpikeRate is the per-traversal probability that a message's
+	// fabric latency grows by SpikeLatency (congestion transients).
+	SpikeRate    float64       `json:"spike_rate,omitempty"`
+	SpikeLatency time.Duration `json:"spike_latency_ns,omitempty"`
+
+	// RetryLimit bounds how many times a file-system server resubmits a
+	// failed disk request (at least 1 whenever DiskErrorRate > 0 —
+	// injecting errors with no retry budget is a spec error, not silent
+	// data loss). RetryBackoff is the pre-retry sleep, doubling per
+	// attempt.
+	RetryLimit   int           `json:"retry_limit,omitempty"`
+	RetryBackoff time.Duration `json:"retry_backoff_ns,omitempty"`
+}
+
+// Enabled reports whether the plan injects any fault at all. A nil or
+// all-zero plan is disabled: runs behave bit-identically to builds
+// without fault injection.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.Stragglers > 0 || p.DiskErrorRate > 0 || p.MsgLossRate > 0 || p.SpikeRate > 0
+}
+
+// Clone returns a copy of the plan (nil-safe; cloning nil yields a zero
+// plan). Sweep axes clone before mutating so cells never share state.
+func (p *Plan) Clone() *Plan {
+	c := new(Plan)
+	if p != nil {
+		*c = *p
+	}
+	return c
+}
+
+// Validate checks the plan's internal consistency. nDisks, when
+// positive, bounds the straggler count; pass 0 when the machine shape
+// is not yet known (sweep templates).
+func (p *Plan) Validate(nDisks int) error {
+	if p == nil {
+		return nil
+	}
+	switch {
+	case p.DiskErrorRate < 0 || p.DiskErrorRate > 0.9:
+		return fmt.Errorf("fault: disk_error_rate %v outside [0, 0.9]", p.DiskErrorRate)
+	case p.MsgLossRate < 0 || p.MsgLossRate > 0.9:
+		return fmt.Errorf("fault: msg_loss_rate %v outside [0, 0.9]", p.MsgLossRate)
+	case p.SpikeRate < 0 || p.SpikeRate > 0.9:
+		return fmt.Errorf("fault: spike_rate %v outside [0, 0.9]", p.SpikeRate)
+	case p.Stragglers < 0:
+		return fmt.Errorf("fault: negative straggler count %d", p.Stragglers)
+	case nDisks > 0 && p.Stragglers > nDisks:
+		return fmt.Errorf("fault: %d stragglers exceed %d disks", p.Stragglers, nDisks)
+	case p.Stragglers > 0 && p.StragglerSlowdown <= 1:
+		return fmt.Errorf("fault: straggler_slowdown %v must exceed 1 when stragglers are enabled", p.StragglerSlowdown)
+	case p.StragglerSlowdown < 0:
+		return fmt.Errorf("fault: negative straggler_slowdown %v", p.StragglerSlowdown)
+	case p.SlowPeriod < 0 || p.SlowWindow < 0 || p.DiskErrorLatency < 0 ||
+		p.ResendTimeout < 0 || p.SpikeLatency < 0 || p.RetryBackoff < 0:
+		return fmt.Errorf("fault: negative duration in plan")
+	case p.SlowWindow > 0 && p.SlowPeriod == 0:
+		return fmt.Errorf("fault: slow_window_ns needs a slow_period_ns")
+	case p.SlowPeriod > 0 && p.SlowWindow > p.SlowPeriod:
+		return fmt.Errorf("fault: slow_window_ns %v exceeds slow_period_ns %v", p.SlowWindow, p.SlowPeriod)
+	case p.RetryLimit < 0:
+		return fmt.Errorf("fault: negative retry_limit %d", p.RetryLimit)
+	case p.DiskErrorRate > 0 && p.RetryLimit < 1:
+		return fmt.Errorf("fault: retry_limit must be at least 1 when disk_error_rate > 0")
+	case p.SpikeRate > 0 && p.SpikeLatency <= 0:
+		return fmt.Errorf("fault: spike_rate needs a positive spike_latency_ns")
+	}
+	return nil
+}
+
+// Retry returns the plan's retry policy with defaults applied (nil-safe;
+// a nil plan yields a zero policy, i.e. no retries).
+func (p *Plan) Retry() RetryPolicy {
+	if p == nil {
+		return RetryPolicy{}
+	}
+	rp := RetryPolicy{Limit: p.RetryLimit, Backoff: p.RetryBackoff}
+	if rp.Limit > 0 && rp.Backoff == 0 {
+		rp.Backoff = DefaultRetryBackoff
+	}
+	return rp
+}
+
+// Summary renders the plan compactly for figure subtitles and logs.
+func (p *Plan) Summary() string {
+	if p == nil {
+		return "fault-free"
+	}
+	var parts []string
+	if p.DiskErrorRate > 0 {
+		parts = append(parts, fmt.Sprintf("disk-err %.1f%%", p.DiskErrorRate*100))
+	}
+	if p.Stragglers > 0 {
+		parts = append(parts, fmt.Sprintf("%d stragglers ×%.3g", p.Stragglers, p.StragglerSlowdown))
+	}
+	if p.MsgLossRate > 0 {
+		parts = append(parts, fmt.Sprintf("loss %.1f%%", p.MsgLossRate*100))
+	}
+	if p.SpikeRate > 0 {
+		parts = append(parts, fmt.Sprintf("spikes %.1f%%", p.SpikeRate*100))
+	}
+	if p.RetryLimit > 0 {
+		parts = append(parts, fmt.Sprintf("retry %d", p.RetryLimit))
+	}
+	if len(parts) == 0 {
+		return "fault-free"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParsePlan parses a JSON fault plan. Unknown fields are rejected so
+// typos in hand-written plans fail loudly, and the parsed plan is
+// validated (without a machine shape; straggler count is re-checked
+// against the configured disks at run time).
+func ParsePlan(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("fault: parsing plan: %w", err)
+	}
+	if err := p.Validate(0); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ResolvePlan turns a -faults flag argument into a plan: inline JSON
+// (first non-space byte '{') or a path to a JSON plan file.
+func ResolvePlan(arg string) (*Plan, error) {
+	if strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		return ParsePlan([]byte(arg))
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %q is neither inline JSON nor a readable plan file: %w", arg, err)
+	}
+	return ParsePlan(data)
+}
+
+// RetryPolicy bounds a file-system server's disk-request retries.
+type RetryPolicy struct {
+	// Limit is the maximum number of resubmissions per request (0
+	// disables retries entirely).
+	Limit int
+	// Backoff is the modeled sleep before the first retry; it doubles
+	// per attempt (capped at 64× so virtual time cannot overflow).
+	Backoff time.Duration
+}
+
+// Enabled reports whether the policy retries at all.
+func (rp RetryPolicy) Enabled() bool { return rp.Limit > 0 }
+
+// BackoffFor returns the sleep before resubmission number attempt
+// (1-based): Backoff doubled per prior attempt.
+func (rp RetryPolicy) BackoffFor(attempt int) time.Duration {
+	if rp.Backoff <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 6 {
+		shift = 6
+	}
+	return rp.Backoff << shift
+}

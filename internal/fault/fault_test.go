@@ -1,0 +1,301 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ddio/internal/sim"
+)
+
+func TestPlanEnabled(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Enabled() {
+		t.Error("nil plan reports enabled")
+	}
+	if (&Plan{}).Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+	if (&Plan{RetryLimit: 3, RetryBackoff: time.Millisecond}).Enabled() {
+		t.Error("retry-only plan reports enabled (injects nothing)")
+	}
+	for _, p := range []*Plan{
+		{DiskErrorRate: 0.01, RetryLimit: 1},
+		{Stragglers: 1, StragglerSlowdown: 2},
+		{MsgLossRate: 0.01},
+		{SpikeRate: 0.01, SpikeLatency: time.Microsecond},
+	} {
+		if !p.Enabled() {
+			t.Errorf("plan %+v reports disabled", p)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		plan   *Plan
+		nDisks int
+		want   string // substring of the error, "" for valid
+	}{
+		{"nil", nil, 0, ""},
+		{"zero", &Plan{}, 16, ""},
+		{"full valid", &Plan{
+			Stragglers: 2, StragglerSlowdown: 4,
+			SlowPeriod: 100 * time.Millisecond, SlowWindow: 20 * time.Millisecond,
+			DiskErrorRate: 0.05, DiskErrorLatency: 2 * time.Millisecond,
+			MsgLossRate: 0.02, ResendTimeout: 100 * time.Microsecond,
+			SpikeRate: 0.01, SpikeLatency: 50 * time.Microsecond,
+			RetryLimit: 4, RetryBackoff: time.Millisecond,
+		}, 16, ""},
+		{"negative disk rate", &Plan{DiskErrorRate: -0.1}, 0, "disk_error_rate"},
+		{"disk rate above cap", &Plan{DiskErrorRate: 0.95, RetryLimit: 1}, 0, "disk_error_rate"},
+		{"negative loss rate", &Plan{MsgLossRate: -1}, 0, "msg_loss_rate"},
+		{"negative spike rate", &Plan{SpikeRate: -0.5}, 0, "spike_rate"},
+		{"negative stragglers", &Plan{Stragglers: -1}, 0, "straggler count"},
+		{"stragglers exceed disks", &Plan{Stragglers: 9, StragglerSlowdown: 2}, 8, "exceed"},
+		{"stragglers fit disks", &Plan{Stragglers: 8, StragglerSlowdown: 2}, 8, ""},
+		{"stragglers unchecked without shape", &Plan{Stragglers: 99, StragglerSlowdown: 2}, 0, ""},
+		{"slowdown missing", &Plan{Stragglers: 1}, 0, "straggler_slowdown"},
+		{"slowdown of 1", &Plan{Stragglers: 1, StragglerSlowdown: 1}, 0, "straggler_slowdown"},
+		{"negative slowdown", &Plan{StragglerSlowdown: -2}, 0, "straggler_slowdown"},
+		{"negative duration", &Plan{DiskErrorLatency: -time.Millisecond}, 0, "negative duration"},
+		{"window without period", &Plan{SlowWindow: time.Millisecond}, 0, "slow_period"},
+		{"window exceeds period", &Plan{SlowPeriod: time.Millisecond, SlowWindow: 2 * time.Millisecond}, 0, "exceeds slow_period"},
+		{"negative retry limit", &Plan{RetryLimit: -1}, 0, "retry_limit"},
+		{"errors without retry budget", &Plan{DiskErrorRate: 0.01}, 0, "retry_limit must be at least 1"},
+		{"spike without latency", &Plan{SpikeRate: 0.01}, 0, "spike_latency"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(tc.nDisks)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := &Plan{
+		Stragglers: 2, StragglerSlowdown: 4,
+		SlowPeriod: 100 * time.Millisecond, SlowWindow: 20 * time.Millisecond,
+		DiskErrorRate: 0.05, DiskErrorLatency: 2 * time.Millisecond,
+		MsgLossRate: 0.02, ResendTimeout: 100 * time.Microsecond,
+		SpikeRate: 0.01, SpikeLatency: 50 * time.Microsecond,
+		RetryLimit: 4, RetryBackoff: time.Millisecond,
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestParsePlanRejectsUnknownFields(t *testing.T) {
+	if _, err := ParsePlan([]byte(`{"disk_error_rte": 0.1}`)); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+	if _, err := ParsePlan([]byte(`{"disk_error_rate": 0.1}`)); err == nil {
+		t.Fatal("invalid plan (no retry budget) accepted")
+	}
+}
+
+func TestResolvePlanInline(t *testing.T) {
+	p, err := ResolvePlan(` {"msg_loss_rate": 0.02}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MsgLossRate != 0.02 {
+		t.Fatalf("got %+v", p)
+	}
+	if _, err := ResolvePlan("/no/such/plan.json"); err == nil {
+		t.Fatal("missing plan file accepted")
+	}
+}
+
+func TestRetryPolicy(t *testing.T) {
+	if (RetryPolicy{}).Enabled() {
+		t.Error("zero policy reports enabled")
+	}
+	rp := (&Plan{RetryLimit: 3}).Retry()
+	if rp.Backoff != DefaultRetryBackoff {
+		t.Errorf("default backoff not applied: %v", rp.Backoff)
+	}
+	rp = RetryPolicy{Limit: 10, Backoff: time.Millisecond}
+	for _, tc := range []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, time.Millisecond},
+		{2, 2 * time.Millisecond},
+		{3, 4 * time.Millisecond},
+		{7, 64 * time.Millisecond},
+		{12, 64 * time.Millisecond}, // capped
+	} {
+		if got := rp.BackoffFor(tc.attempt); got != tc.want {
+			t.Errorf("BackoffFor(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+	if got := (RetryPolicy{Limit: 2}).BackoffFor(1); got != 0 {
+		t.Errorf("zero-backoff policy sleeps %v", got)
+	}
+}
+
+func TestPlanSummary(t *testing.T) {
+	var nilPlan *Plan
+	if got := nilPlan.Summary(); got != "fault-free" {
+		t.Errorf("nil plan summary %q", got)
+	}
+	if got := (&Plan{}).Summary(); got != "fault-free" {
+		t.Errorf("zero plan summary %q", got)
+	}
+	p := &Plan{DiskErrorRate: 0.02, Stragglers: 2, StragglerSlowdown: 4, RetryLimit: 4}
+	want := "disk-err 2.0%, 2 stragglers ×4, retry 4"
+	if got := p.Summary(); got != want {
+		t.Errorf("summary %q, want %q", got, want)
+	}
+}
+
+func TestNewInjectorNilForDisabledPlans(t *testing.T) {
+	rng := sim.NewRand(1)
+	if in := NewInjector(nil, rng, 8); in != nil {
+		t.Error("nil plan built an injector")
+	}
+	if in := NewInjector(&Plan{}, rng, 8); in != nil {
+		t.Error("zero plan built an injector")
+	}
+	// The nil injector's whole handle surface must be usable.
+	var in *Injector
+	if in.Disk(3) != nil || in.Net() != nil || in.Retry().Enabled() ||
+		in.Stats() != (Stats{}) || in.Stragglers() != nil {
+		t.Error("nil injector handles not inert")
+	}
+	var df *DiskFaults
+	if df.FailRequest() || df.ErrorLatency() != 0 || df.StragglerExtra(0, 100) != 0 {
+		t.Error("nil DiskFaults not inert")
+	}
+	var nf *NetFaults
+	nf.CountResend()
+	if nf.Spike() != 0 || nf.DropMsg() || nf.ResendTimeout() != 0 {
+		t.Error("nil NetFaults not inert")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	plan := &Plan{
+		Stragglers: 2, StragglerSlowdown: 4,
+		DiskErrorRate: 0.2, MsgLossRate: 0.1,
+		SpikeRate: 0.05, SpikeLatency: 50 * time.Microsecond,
+		RetryLimit: 3,
+	}
+	draw := func() ([]int, []bool, []bool) {
+		in := NewInjector(plan, sim.NewRand(42), 8)
+		var fails, drops []bool
+		for i := 0; i < 200; i++ {
+			fails = append(fails, in.Disk(i%8).FailRequest())
+			_ = in.Net().Spike()
+			drops = append(drops, in.Net().DropMsg())
+		}
+		return in.Stragglers(), fails, drops
+	}
+	s1, f1, d1 := draw()
+	s2, f2, d2 := draw()
+	if !reflect.DeepEqual(s1, s2) || !reflect.DeepEqual(f1, f2) || !reflect.DeepEqual(d1, d2) {
+		t.Fatal("same seed + plan produced different fault sequences")
+	}
+	if len(s1) != 2 {
+		t.Fatalf("straggler set %v, want 2 disks", s1)
+	}
+	// A different seed must reshuffle at least something across 200 draws.
+	in := NewInjector(plan, sim.NewRand(43), 8)
+	var f3 []bool
+	for i := 0; i < 200; i++ {
+		f3 = append(f3, in.Disk(i%8).FailRequest())
+	}
+	if reflect.DeepEqual(f1, f3) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestInjectorHealthyDisksGetNoHandle(t *testing.T) {
+	plan := &Plan{Stragglers: 1, StragglerSlowdown: 4}
+	in := NewInjector(plan, sim.NewRand(7), 8)
+	s := in.Stragglers()
+	if len(s) != 1 {
+		t.Fatalf("straggler set %v", s)
+	}
+	for d := 0; d < 8; d++ {
+		h := in.Disk(d)
+		if d == s[0] {
+			if h == nil {
+				t.Fatalf("straggler %d has no handle", d)
+			}
+			if h.FailRequest() {
+				t.Error("straggler without error rate failed a request")
+			}
+			if h.StragglerExtra(0, 1000) != 3000 {
+				t.Errorf("slowdown 4 over 1000ns gave extra %v", h.StragglerExtra(0, 1000))
+			}
+			continue
+		}
+		if h != nil {
+			t.Errorf("healthy disk %d got a handle", d)
+		}
+	}
+	if in.Disk(100) != nil {
+		t.Error("out-of-range disk got a handle")
+	}
+}
+
+func TestStragglerWindows(t *testing.T) {
+	f := &DiskFaults{
+		straggler: true, scale: 3,
+		period: time.Duration(1000), window: time.Duration(400),
+	}
+	// Start inside the window → slowed.
+	if got := f.StragglerExtra(sim.Time(2100), sim.Time(2200)); got != 200 {
+		t.Errorf("in-window extra %v, want 200", got)
+	}
+	// Start outside the window → full speed.
+	if got := f.StragglerExtra(sim.Time(2600), sim.Time(2700)); got != 0 {
+		t.Errorf("out-of-window extra %v, want 0", got)
+	}
+	// No period → always slow.
+	f.period, f.window = 0, 0
+	if got := f.StragglerExtra(sim.Time(2600), sim.Time(2700)); got != 200 {
+		t.Errorf("always-slow extra %v, want 200", got)
+	}
+}
+
+func TestInjectorStatsCount(t *testing.T) {
+	plan := &Plan{DiskErrorRate: 0.9, MsgLossRate: 0.9, RetryLimit: 1}
+	in := NewInjector(plan, sim.NewRand(1), 2)
+	for i := 0; i < 100; i++ {
+		in.Disk(0).FailRequest()
+		if in.Net().DropMsg() {
+			in.Net().CountResend()
+		}
+	}
+	st := in.Stats()
+	if st.DiskErrors == 0 || st.DroppedMsgs == 0 {
+		t.Fatalf("stats did not count: %+v", st)
+	}
+	if st.Resends != st.DroppedMsgs {
+		t.Fatalf("resends %d != drops %d", st.Resends, st.DroppedMsgs)
+	}
+}

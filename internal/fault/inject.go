@@ -1,0 +1,242 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ddio/internal/sim"
+)
+
+// Stats counts what the injector did to one run. The engine is
+// single-threaded, so plain counters suffice; the recovery-side
+// counters (retries, recoveries, losses) live in the file-system
+// servers' metrics, since the servers own the retry loops.
+type Stats struct {
+	DiskErrors  int64 // transient disk-request failures injected
+	DroppedMsgs int64 // interconnect messages dropped in the fabric
+	Resends     int64 // retransmissions (equals DroppedMsgs: every drop is resent)
+	Spikes      int64 // latency spikes injected
+}
+
+// Injector is one run's fault state: per-disk error streams, the
+// straggler set, and the network fault stream, all derived from the
+// run's root seed by label so no stream perturbs any other (the layout
+// and jitter streams of a fault-free run draw identically whether or
+// not an injector exists). Build one per run with NewInjector; a nil
+// *Injector — and every handle it hands out — is a valid "faults off"
+// injector.
+type Injector struct {
+	plan  Plan
+	disks []*DiskFaults
+	net   *NetFaults
+	stats Stats
+}
+
+// NewInjector builds the injector for a run, or returns nil when the
+// plan is nil or injects nothing — the nil injector keeps the fault-free
+// path bit-identical to builds without fault injection.
+func NewInjector(p *Plan, rng *sim.Rand, nDisks int) *Injector {
+	if !p.Enabled() {
+		return nil
+	}
+	in := &Injector{plan: *p}
+	if in.plan.DiskErrorLatency == 0 {
+		in.plan.DiskErrorLatency = DefaultDiskErrorLatency
+	}
+	if in.plan.ResendTimeout == 0 {
+		in.plan.ResendTimeout = DefaultResendTimeout
+	}
+	straggler := make([]bool, nDisks)
+	if n := in.plan.Stragglers; n > 0 {
+		if n > nDisks {
+			n = nDisks
+		}
+		for _, d := range rng.Stream("fault-straggler").Perm(nDisks)[:n] {
+			straggler[d] = true
+		}
+	}
+	in.disks = make([]*DiskFaults, nDisks)
+	for d := 0; d < nDisks; d++ {
+		if in.plan.DiskErrorRate == 0 && !straggler[d] {
+			continue // healthy disk: no handle, no draws
+		}
+		f := &DiskFaults{
+			errRate:   in.plan.DiskErrorRate,
+			errLat:    in.plan.DiskErrorLatency,
+			straggler: straggler[d],
+			scale:     in.plan.StragglerSlowdown,
+			period:    in.plan.SlowPeriod,
+			window:    in.plan.SlowWindow,
+			stats:     &in.stats,
+		}
+		if f.errRate > 0 {
+			f.rng = rng.Stream(fmt.Sprintf("fault-disk:%d", d))
+		}
+		in.disks[d] = f
+	}
+	if in.plan.MsgLossRate > 0 || in.plan.SpikeRate > 0 {
+		in.net = &NetFaults{
+			rng:       rng.Stream("fault-net"),
+			loss:      in.plan.MsgLossRate,
+			spikeRate: in.plan.SpikeRate,
+			spikeLat:  in.plan.SpikeLatency,
+			rto:       in.plan.ResendTimeout,
+			stats:     &in.stats,
+		}
+	}
+	return in
+}
+
+// Disk returns the fault handle for disk d (nil when the injector is
+// nil or disk d is healthy — the disk layer treats nil as faults off).
+func (in *Injector) Disk(d int) *DiskFaults {
+	if in == nil || d >= len(in.disks) {
+		return nil
+	}
+	return in.disks[d]
+}
+
+// Net returns the network fault handle (nil when faults are off).
+func (in *Injector) Net() *NetFaults {
+	if in == nil {
+		return nil
+	}
+	return in.net
+}
+
+// Retry returns the plan's retry policy (zero when the injector is nil).
+func (in *Injector) Retry() RetryPolicy {
+	if in == nil {
+		return RetryPolicy{}
+	}
+	return in.plan.Retry()
+}
+
+// Stats returns a copy of the injection counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// Stragglers returns the slowed disks' indices in ascending order
+// (diagnostic).
+func (in *Injector) Stragglers() []int {
+	if in == nil {
+		return nil
+	}
+	var out []int
+	for d, f := range in.disks {
+		if f != nil && f.straggler {
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DiskFaults is one disk's fault state. All methods are nil-safe no-ops
+// so the disk layer pays one nil check when faults are off.
+type DiskFaults struct {
+	rng       *sim.Rand // per-disk error stream, nil when errRate == 0
+	errRate   float64
+	errLat    time.Duration
+	straggler bool
+	scale     float64
+	period    time.Duration
+	window    time.Duration
+	stats     *Stats
+}
+
+// FailRequest draws whether the next request fails transiently. Each
+// call advances this disk's private stream only, so disks' fault fates
+// are independent and stable under machine-shape changes elsewhere.
+func (f *DiskFaults) FailRequest() bool {
+	if f == nil || f.errRate == 0 {
+		return false
+	}
+	if f.rng.Float64() >= f.errRate {
+		return false
+	}
+	f.stats.DiskErrors++
+	return true
+}
+
+// ErrorLatency is the drive time a failed request burns before the
+// error is reported.
+func (f *DiskFaults) ErrorLatency() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.errLat
+}
+
+// StragglerExtra returns the additional service time a straggler owes
+// for a request serviced over [start, end): elapsed × (slowdown − 1)
+// when the service began inside a slow window (always, if no period is
+// configured). Deterministic — a pure function of the service interval —
+// so straggling never perturbs any PRNG stream.
+func (f *DiskFaults) StragglerExtra(start, end sim.Time) time.Duration {
+	if f == nil || !f.straggler || end <= start {
+		return 0
+	}
+	if f.period > 0 && time.Duration(start%sim.Time(f.period)) >= f.window {
+		return 0
+	}
+	return time.Duration(float64(end-start) * (f.scale - 1))
+}
+
+// NetFaults is the interconnect's fault state. All methods are nil-safe
+// no-ops.
+type NetFaults struct {
+	rng       *sim.Rand
+	loss      float64
+	spikeRate float64
+	spikeLat  time.Duration
+	rto       time.Duration
+	stats     *Stats
+}
+
+// Spike draws whether this fabric traversal suffers a latency spike,
+// returning the extra latency (0 for no spike). Drawn before DropMsg so
+// the draw order per traversal is fixed.
+func (f *NetFaults) Spike() time.Duration {
+	if f == nil || f.spikeRate == 0 {
+		return 0
+	}
+	if f.rng.Float64() >= f.spikeRate {
+		return 0
+	}
+	f.stats.Spikes++
+	return f.spikeLat
+}
+
+// DropMsg draws whether this fabric traversal loses the message.
+func (f *NetFaults) DropMsg() bool {
+	if f == nil || f.loss == 0 {
+		return false
+	}
+	if f.rng.Float64() >= f.loss {
+		return false
+	}
+	f.stats.DroppedMsgs++
+	return true
+}
+
+// ResendTimeout is the sender-side timeout before retransmission.
+func (f *NetFaults) ResendTimeout() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.rto
+}
+
+// CountResend records one retransmission.
+func (f *NetFaults) CountResend() {
+	if f == nil {
+		return
+	}
+	f.stats.Resends++
+}

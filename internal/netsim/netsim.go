@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"time"
 
+	"ddio/internal/fault"
 	"ddio/internal/sim"
 	"ddio/internal/trace"
 )
@@ -44,11 +45,12 @@ func DefaultConfig() Config {
 
 // Network is one interconnect instance.
 type Network struct {
-	eng  *sim.Engine
-	cfg  Config
-	nics []nic
-	rng  *sim.Rand
-	rec  *trace.Recorder // event tracing, nil when disabled
+	eng    *sim.Engine
+	cfg    Config
+	nics   []nic
+	rng    *sim.Rand
+	rec    *trace.Recorder  // event tracing, nil when disabled
+	faults *fault.NetFaults // fault injection, nil when disabled
 
 	msgs  int64
 	bytes int64
@@ -81,6 +83,12 @@ func New(e *sim.Engine, cfg Config, nNodes int, rng *sim.Rand) *Network {
 	}
 	return n
 }
+
+// SetFaults attaches a fault-injection handle for message loss and
+// latency spikes. nil (the default) keeps the fabric lossless and the
+// send path bit-identical to a build without fault injection. Call
+// before the run starts.
+func (n *Network) SetFaults(f *fault.NetFaults) { n.faults = f }
 
 // SetNodeName labels endpoint id in traces (the machine builder passes
 // processor names like "CP3"/"IOP0" so per-link trace totals read in
@@ -136,9 +144,32 @@ func (n *Network) Send(a, b, size int, onSent, deliver func(t sim.Time)) {
 	if onSent != nil {
 		n.eng.At(outEnd, func() { onSent(outEnd) })
 	}
+	n.transmit(a, b, wire, outStart, outEnd, deliver)
+}
+
+// transmit models one fabric traversal of a message already committed to
+// a's out NIC over [outStart, outEnd]. Under fault injection the
+// traversal may suffer a latency spike or be dropped entirely; a drop
+// retransmits after the resend timeout, re-occupying the source NIC for
+// the full message (the retransmission redraws its own fault fate, so a
+// message can be dropped repeatedly — each loss costs another timeout).
+func (n *Network) transmit(a, b, wire int, outStart, outEnd sim.Time, deliver func(t sim.Time)) {
 	lat := sim.Time(n.cfg.RouterDelay) * sim.Time(n.Hops(a, b))
 	if n.cfg.JitterMax > 0 {
 		lat += sim.Time(n.rng.Int63n(int64(n.cfg.JitterMax)))
+	}
+	if spike := n.faults.Spike(); spike > 0 {
+		n.rec.Fault(n.nics[a].name, int64(n.eng.Now()), "net-spike")
+		lat += sim.Time(spike)
+	}
+	if n.faults.DropMsg() {
+		n.rec.Fault(n.nics[a].name, int64(n.eng.Now()), "msg-drop")
+		n.eng.At(outEnd.Add(n.faults.ResendTimeout()), func() {
+			s, e := n.nics[a].out.Reserve(wire)
+			n.faults.CountResend()
+			n.transmit(a, b, wire, s, e, deliver)
+		})
+		return
 	}
 	// Wormhole pipelining: the head flit reaches b's NIC lat after it
 	// left a's; the destination NIC then streams the body concurrently

@@ -19,7 +19,46 @@ func SweepFigure(res *exp.SweepResult) string {
 	if t := res.Table; t.Note != "" {
 		sub = fmt.Sprintf("%s · %s", res.Spec.Name, t.Note)
 	}
+	if res.Spec.Faults != nil {
+		sub = fmt.Sprintf("%s · faults: %s", sub, res.Spec.Faults.Summary())
+	}
 	return TableLines(res.Table, sub)
+}
+
+// SweepTimeFigure renders a degradation sweep's completion-time view:
+// the same axis and method×pattern lines as SweepFigure, but the y axis
+// is mean completion time over trials. Under fault injection, recovery
+// (retries, backoff, resend timeouts, straggler windows) stretches
+// completion time even where throughput curves flatten, so both views
+// together make the degradation story. Returns "" when the result
+// carries no per-cell times (a fault-free sweep).
+func SweepTimeFigure(res *exp.SweepResult) string {
+	if res.CellTime == nil {
+		return ""
+	}
+	t := res.Table
+	sub := fmt.Sprintf("%s · completion time under faults", res.Spec.Name)
+	if res.Spec.Faults != nil {
+		sub = fmt.Sprintf("%s · faults: %s", sub, res.Spec.Faults.Summary())
+	}
+	c := &LineChart{
+		Title:      fmt.Sprintf("%s — %s (completion time)", t.ID, t.Title),
+		Subtitle:   sub,
+		XLabel:     t.RowLabel,
+		YLabel:     "completion time (s)",
+		Categories: t.Rows,
+	}
+	for ci, col := range t.Cols {
+		if col == "max-bw" {
+			continue // a bandwidth ceiling has no time counterpart
+		}
+		se := XYSeries{Label: col}
+		for vi := range t.Rows {
+			se.Y = append(se.Y, res.CellTime[vi][ci].Mean)
+		}
+		c.Series = append(c.Series, se)
+	}
+	return c.SVG()
 }
 
 // TableLines renders a sweep-shaped table (numeric axis values as rows,

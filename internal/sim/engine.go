@@ -78,6 +78,7 @@ type Engine struct {
 	queue    evq
 	seq      int64
 	xfer     *Proc           // proc to hand the token to after the current event
+	cur      *Proc           // proc currently executing (nil in event context)
 	rootWake chan struct{}   // returns the token to the Run caller when the loop ends
 	cond     func(Time) bool // run-limit predicate for the current Run/RunUntil
 	procs    map[*Proc]struct{}
@@ -132,10 +133,19 @@ func (e *Engine) At(t Time, fn func()) {
 		return
 	}
 	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past (now=%v, t=%v)", e.now, t))
+		panic(fmt.Sprintf("sim: event scheduled in the past (now=%v, t=%v, by %s)", e.now, t, e.curName()))
 	}
 	e.seq++
 	e.queue.push(event{t: t, seq: e.seq, fn: fn})
+}
+
+// curName describes who is executing right now, for panic diagnostics:
+// the running proc's name, or "event context" between procs.
+func (e *Engine) curName() string {
+	if e.cur != nil {
+		return "proc " + e.cur.name
+	}
+	return "event context"
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -154,7 +164,7 @@ func (e *Engine) atProc(t Time, p *Proc) {
 		return
 	}
 	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past (now=%v, t=%v)", e.now, t))
+		panic(fmt.Sprintf("sim: event scheduled in the past (now=%v, t=%v, proc=%s, by %s)", e.now, t, p.name, e.curName()))
 	}
 	e.seq++
 	e.queue.push(event{t: t, seq: e.seq, p: p, gen: p.gen})
@@ -236,6 +246,7 @@ func (e *Engine) loop(owner *Proc) tokenState {
 		}
 		if p := e.xfer; p != nil {
 			e.xfer = nil
+			e.cur = p
 			if p == owner {
 				return tokenSelf
 			}
@@ -254,7 +265,7 @@ func (e *Engine) dispatch(p *Proc) {
 		return
 	}
 	if e.xfer != nil {
-		panic("sim: two procs dispatched by one event")
+		panic(fmt.Sprintf("sim: two procs dispatched by one event (%s then %s at %v)", e.xfer.name, p.name, e.now))
 	}
 	e.xfer = p
 }

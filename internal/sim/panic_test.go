@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// recoverPanic runs fn and returns the recovered panic rendered as a
+// string ("" if fn returned normally).
+func recoverPanic(fn func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			if s, ok := r.(string); ok {
+				msg = s
+			} else {
+				msg = "non-string panic"
+			}
+		}
+	}()
+	fn()
+	return ""
+}
+
+func TestPastEventPanicNamesProc(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var msg string
+	e.Go("worker", func(p *Proc) {
+		p.Sleep(100)
+		msg = recoverPanic(func() { e.At(e.Now()-1, func() {}) })
+	})
+	e.Run()
+	if !strings.Contains(msg, "proc worker") || !strings.Contains(msg, "in the past") {
+		t.Fatalf("proc-context past-At panic %q does not name the proc", msg)
+	}
+}
+
+func TestPastEventPanicNamesEventContext(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var msg string
+	e.At(100, func() {
+		msg = recoverPanic(func() { e.At(50, func() {}) })
+	})
+	e.Run()
+	if !strings.Contains(msg, "event context") || !strings.Contains(msg, "in the past") {
+		t.Fatalf("event-context past-At panic %q does not name the context", msg)
+	}
+}
+
+func TestPastDispatchTokenPanicNamesTarget(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	c := NewCond(e, "hold")
+	p := e.GoDaemon("sleeper", func(p *Proc) { c.Wait(p) })
+	e.At(100, func() {})
+	e.Run()
+	msg := recoverPanic(func() { e.atProc(50, p) })
+	if !strings.Contains(msg, "proc=sleeper") || !strings.Contains(msg, "in the past") {
+		t.Fatalf("past token panic %q does not name the target proc", msg)
+	}
+}
+
+func TestDoubleDispatchPanicNamesBothProcs(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	c := NewCond(e, "hold")
+	p1 := e.GoDaemon("alpha", func(p *Proc) { c.Wait(p) })
+	p2 := e.GoDaemon("beta", func(p *Proc) { c.Wait(p) })
+	e.Run() // park both procs on the cond
+	var msg string
+	e.At(e.Now(), func() {
+		msg = recoverPanic(func() {
+			e.dispatch(p1)
+			e.dispatch(p2)
+		})
+		e.xfer = nil // undo the first dispatch so the run can finish
+	})
+	e.Run()
+	if !strings.Contains(msg, "alpha") || !strings.Contains(msg, "beta") {
+		t.Fatalf("double-dispatch panic %q does not name both procs", msg)
+	}
+}

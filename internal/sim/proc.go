@@ -117,6 +117,7 @@ func (p *Proc) run() {
 		p.fn = nil
 		fn(p)
 		p.retire()
+		e.cur = nil // back in event context until the loop dispatches
 		switch e.loop(p) {
 		case tokenSelf:
 			continue // recycled and dispatched again: run the new body
@@ -153,6 +154,7 @@ func (p *Proc) retire() {
 func (p *Proc) park(state string) {
 	p.state = state
 	e := p.eng
+	e.cur = nil // back in event context until the loop dispatches
 	switch e.loop(p) {
 	case tokenSelf:
 		// This proc was the next thing to run; continue in place.

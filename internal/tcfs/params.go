@@ -9,7 +9,11 @@
 // overhead disk-directed I/O eliminates.
 package tcfs
 
-import "time"
+import (
+	"time"
+
+	"ddio/internal/fault"
+)
 
 // Params are the traditional-caching software costs and policy knobs.
 // The CPU costs are calibrated to 1994-era file-system software on a
@@ -49,6 +53,10 @@ type Params struct {
 	// is what starves disk parallelism for 1-block CYCLIC patterns
 	// (Figure 5).
 	StridedRequests bool
+
+	// Retry bounds resubmission of transiently failed disk requests
+	// (fault injection only; the zero policy never retries).
+	Retry fault.RetryPolicy
 }
 
 // DefaultParams returns the calibrated defaults.
@@ -70,12 +78,15 @@ func DefaultParams() Params {
 
 // Metrics aggregates per-server activity.
 type Metrics struct {
-	Requests   int64
-	Reads      int64
-	Writes     int64
-	CacheHits  int64
-	CacheMiss  int64
-	Prefetches int64
-	Flushes    int64
-	PartialRMW int64 // partial-block flushes needing read-modify-write
+	Requests      int64
+	Reads         int64
+	Writes        int64
+	CacheHits     int64
+	CacheMiss     int64
+	Prefetches    int64
+	Flushes       int64
+	PartialRMW    int64 // partial-block flushes needing read-modify-write
+	DiskRetries   int64 // disk-request resubmissions after transient failures
+	DiskRecovered int64 // failed requests that a retry eventually completed
+	DiskLost      int64 // requests still failing after the retry budget
 }

@@ -248,16 +248,52 @@ func (s *Server) handleSync(h *sim.Proc, r *syncReq) {
 // diskFor returns the disk holding the given file block.
 func (s *Server) diskFor(block int) *disk.Disk { return s.f.Disks[s.f.DiskOf(block)] }
 
-// diskReadBlock performs a synchronous block read on behalf of a handler.
-// The returned buffer comes from the disk's free list; the caller should
-// Recycle it (on the same disk, see diskFor) once done with the contents.
+// diskReadBlock performs a synchronous block read on behalf of a
+// handler, applying the server's bounded-retry policy on transient
+// failures (each retry sleeps the policy's doubling backoff in simulated
+// time before resubmitting). The returned buffer comes from the disk's
+// free list; the caller should Recycle it (on the same disk, see
+// diskFor) once done with the contents. When the retry budget is
+// exhausted the loss is counted (the experiment layer reports it as a
+// typed failure) and a zeroed buffer is returned so the cache machinery
+// above stays oblivious to faults.
 func (s *Server) diskReadBlock(p *sim.Proc, block int) []byte {
 	d := s.diskFor(block)
-	return d.ReadSync(p, s.f.LBN(block), s.f.SectorsPerBlock())
+	data, err := d.TryReadSync(p, s.f.LBN(block), s.f.SectorsPerBlock())
+	for attempt := 1; err != nil && attempt <= s.prm.Retry.Limit; attempt++ {
+		s.m2.DiskRetries++
+		t0 := p.Now()
+		p.Sleep(s.prm.Retry.BackoffFor(attempt))
+		s.rec.Retry(s.traceName, int64(t0), int64(p.Now()), attempt)
+		if data, err = d.TryReadSync(p, s.f.LBN(block), s.f.SectorsPerBlock()); err == nil {
+			s.m2.DiskRecovered++
+		}
+	}
+	if err != nil {
+		s.m2.DiskLost++
+		data = d.Buffer(s.f.BlockSize)
+		clear(data)
+	}
+	return data
 }
 
 // diskWriteBlock performs a synchronous block write on behalf of a
-// handler (the drive's write-behind makes it fast for sequential runs).
+// handler (the drive's write-behind makes it fast for sequential runs),
+// with the same bounded-retry policy as diskReadBlock; an exhausted
+// write is counted as lost and dropped.
 func (s *Server) diskWriteBlock(p *sim.Proc, block int, data []byte) {
-	s.diskFor(block).WriteSync(p, s.f.LBN(block), data)
+	d := s.diskFor(block)
+	err := d.TryWriteSync(p, s.f.LBN(block), data)
+	for attempt := 1; err != nil && attempt <= s.prm.Retry.Limit; attempt++ {
+		s.m2.DiskRetries++
+		t0 := p.Now()
+		p.Sleep(s.prm.Retry.BackoffFor(attempt))
+		s.rec.Retry(s.traceName, int64(t0), int64(p.Now()), attempt)
+		if err = d.TryWriteSync(p, s.f.LBN(block), data); err == nil {
+			s.m2.DiskRecovered++
+		}
+	}
+	if err != nil {
+		s.m2.DiskLost++
+	}
 }

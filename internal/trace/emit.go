@@ -23,6 +23,8 @@ var kindFields = [...]fieldSet{
 	KindPoolBusy:    {end: true},
 	KindBuffer:      {bytes: true, depth: true},
 	KindNetMsg:      {bytes: true},
+	KindFault:       {},
+	KindRetry:       {end: true, depth: true},
 }
 
 // jsonEvent is Event's wire form: stable snake_case keys; pointer

@@ -58,6 +58,13 @@ const (
 	// KindNetMsg is one interconnect message from Node to Peer carrying
 	// Bytes payload bytes, stamped at send time.
 	KindNetMsg
+	// KindFault is one injected fault at component Node; Peer carries
+	// the fault class ("disk-err", "msg-drop", "net-spike").
+	KindFault
+	// KindRetry is one bounded-retry backoff interval at server Node:
+	// [T, End] spans the modeled backoff sleep before resubmission
+	// number Depth.
+	KindRetry
 )
 
 // kindNames are the stable external names used in JSONL and CSV.
@@ -70,6 +77,8 @@ var kindNames = [...]string{
 	KindPoolBusy:    "pool",
 	KindBuffer:      "buffer",
 	KindNetMsg:      "msg",
+	KindFault:       "fault",
+	KindRetry:       "retry",
 }
 
 // String returns the kind's stable external name.
@@ -213,4 +222,23 @@ func (r *Recorder) NetMsg(src, dst string, t, bytes int64) {
 		return
 	}
 	r.add(Event{Kind: KindNetMsg, T: t, Node: src, Peer: dst, Bytes: bytes})
+}
+
+// Fault records one injected fault at a component; class is the stable
+// fault label ("disk-err", "msg-drop", "net-spike"), carried in Peer.
+func (r *Recorder) Fault(node string, t int64, class string) {
+	if r == nil {
+		return
+	}
+	r.add(Event{Kind: KindFault, T: t, Node: node, Peer: class})
+}
+
+// Retry records one bounded-retry backoff interval at a server: [start,
+// end] spans the modeled backoff sleep before resubmission number
+// attempt (1-based).
+func (r *Recorder) Retry(node string, start, end int64, attempt int) {
+	if r == nil {
+		return
+	}
+	r.add(Event{Kind: KindRetry, T: start, End: end, Node: node, Depth: int64(attempt)})
 }

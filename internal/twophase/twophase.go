@@ -8,6 +8,12 @@
 // distribution. Disk-directed I/O subsumes both phases; implementing
 // two-phase I/O lets the repository check the paper's §7.1 reasoning
 // (extra network traversal, unoverlapped permutation) experimentally.
+//
+// Fault recovery rides on the tcfs servers this package runs its I/O
+// phase through: the bounded-retry policy of a run's fault plan (see
+// internal/fault) is armed via tcfs.Params.Retry, so degradation sweeps
+// compare two-phase I/O under exactly the recovery model the
+// traditional-caching baseline uses.
 package twophase
 
 import (
