@@ -1,0 +1,98 @@
+// Command ddiosimd serves disk-directed-I/O sweeps over HTTP: the same
+// declarative SweepSpec documents cmd/figures renders (preset name or
+// inline JSON) POSTed to /v1/sweeps come back as tables, JSON, CSV, or
+// SVG figures — byte-identical to the CLI artifacts for the same inputs.
+//
+// The daemon exploits the simulator's determinism: completed cells are
+// cached in an LRU keyed by their canonical config hash, concurrent
+// identical requests are collapsed onto one simulation per cell
+// (singleflight), and a bounded job queue answers 429 + Retry-After
+// when full instead of accepting unbounded work.
+//
+// Endpoints (see EXPERIMENTS.md "Serving sweeps"):
+//
+//	GET  /healthz                health probe
+//	GET  /v1/presets             built-in sweep specs, as JSON
+//	POST /v1/sweeps              run a sweep (?format=text|json|csv|tablecsv|svg|timesvg, ?async=1)
+//	POST /v1/runs                run one experiment (?trace=jsonl for the event trace)
+//	GET  /v1/jobs/{id}           poll an async job
+//	GET  /v1/jobs/{id}/result    collect a finished async job's body
+//	GET  /v1/stats               cache/queue counters, as JSON
+//	GET  /metrics                the same counters, metrics-style text
+//
+// Example:
+//
+//	ddiosimd -addr :8080 &
+//	curl -d '{"preset":"fig5-paper","trials":1,"filemb":1}' localhost:8080/v1/sweeps
+//	curl -d '{"method":"ddio-sort","pattern":"rc"}' localhost:8080/v1/runs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ddio/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 4096, "completed-cell LRU capacity")
+	queue := flag.Int("queue", 16, "job queue depth; beyond it requests get 429")
+	concurrency := flag.Int("concurrency", 2, "jobs simulating at once (the rest wait queued)")
+	workers := flag.Int("j", 0, "runner worker goroutines per sweep (0 = GOMAXPROCS)")
+	maxCells := flag.Int("maxcells", 4096, "largest (cell x trial) expansion accepted per request")
+	trials := flag.Int("trials", 5, "default trials per cell when a request omits trials")
+	filemb := flag.Int64("filemb", 10, "default file size in MiB when a request omits filemb")
+	seed := flag.Int64("seed", 42, "default base seed when a request omits seed")
+	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ddiosimd: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "ddiosimd: ", log.LstdFlags)
+	cfg := serve.Config{
+		CacheCells:  *cache,
+		QueueDepth:  *queue,
+		Concurrency: *concurrency,
+		Workers:     *workers,
+		MaxCells:    *maxCells,
+		Trials:      *trials,
+		FileMB:      *filemb,
+		Seed:        *seed,
+		Log:         logger,
+	}
+	if *quiet {
+		cfg.Log = nil
+	}
+	srv := &http.Server{Addr: *addr, Handler: serve.New(cfg)}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s (queue=%d concurrency=%d cache=%d)",
+		*addr, *queue, *concurrency, *cache)
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+}

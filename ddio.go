@@ -27,6 +27,7 @@ import (
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
 	"ddio/internal/plot"
+	"ddio/internal/serve"
 	"ddio/internal/trace"
 )
 
@@ -229,3 +230,28 @@ func FigureSVG(t *Table) string { return plot.FigureSVG(t) }
 func UtilizationTimelineSVG(rec *TraceRecorder, title string) string {
 	return plot.UtilizationTimeline(rec, title)
 }
+
+// CellKey returns the canonical cache identity of one experiment cell:
+// a hex SHA-256 over the resolved configuration (method, pattern,
+// machine shape, tuning, seed, fault plan). Because every run is a pure
+// function of its Config, equal keys mean byte-identical results — the
+// invariant the sweep server's cell cache is built on. Two configs that
+// differ only in JSON field order hash identically; any change to seed,
+// trial, or a tuning knob changes the key.
+func CellKey(cfg Config) string { return exp.CellKey(cfg) }
+
+// ServerConfig tunes a sweep server: cache capacity, queue depth,
+// concurrency, and the option defaults applied to requests.
+type ServerConfig = serve.Config
+
+// Server is the ddiosimd daemon as an embeddable http.Handler: POST
+// /v1/sweeps and /v1/runs with cell-level LRU caching, singleflight
+// deduplication, bounded-queue admission control, async jobs, and a
+// /metrics endpoint. See cmd/ddiosimd and EXPERIMENTS.md "Serving
+// sweeps".
+type Server = serve.Server
+
+// NewServer returns a sweep server; zero-valued config fields select
+// the defaults (cache 4096 cells, queue 16, concurrency 2, and the
+// figures CLI option defaults).
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }

@@ -30,6 +30,11 @@ type Options struct {
 	// (see Config.Faults). Sweep specs with their own Faults template
 	// override it.
 	Faults *fault.Plan
+	// RunCell, when non-nil, replaces the per-cell execution function
+	// (default: Run) on the runner these options build — the serving
+	// layer's cache/singleflight hook (see Runner.SetRunFunc for the
+	// contract fn must keep).
+	RunCell func(Config) (*Result, error)
 }
 
 // DefaultOptions mirrors the paper's experimental design.
@@ -46,7 +51,13 @@ func (o Options) base() Config {
 	return cfg
 }
 
-func (o Options) runner() *Runner { return NewRunner(o.Workers, o.Progress) }
+func (o Options) runner() *Runner {
+	r := NewRunner(o.Workers, o.Progress)
+	if o.RunCell != nil {
+		r.SetRunFunc(o.RunCell)
+	}
+	return r
+}
 
 func (o Options) trials() int {
 	if o.Trials < 1 {

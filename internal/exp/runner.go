@@ -54,6 +54,7 @@ var runExperiment = Run
 type Runner struct {
 	workers  int
 	progress func(string)
+	run      func(Config) (*Result, error) // nil = Run; see SetRunFunc
 	mu       sync.Mutex
 }
 
@@ -66,6 +67,15 @@ func NewRunner(workers int, progress func(string)) *Runner {
 	}
 	return &Runner{workers: workers, progress: progress}
 }
+
+// SetRunFunc replaces the runner's per-cell execution function (default:
+// Run). The serving layer wires a cache-and-deduplicate wrapper here, so
+// already-computed cells return instantly and concurrent requests for
+// the same cell collapse onto one simulation. fn must be safe for
+// concurrent calls and must preserve Run's contract: for a given Config
+// it returns a Result identical to what Run would produce (a cache of
+// pure-function results does, by construction). nil restores the default.
+func (r *Runner) SetRunFunc(fn func(Config) (*Result, error)) { r.run = fn }
 
 // progressf emits one progress line under the runner's lock. Safe to
 // call from any goroutine.
@@ -155,13 +165,16 @@ func (r *Runner) RunAll(cfgs []Config, onDone func(i int, res *Result)) ([]*Resu
 // safeRun executes cfgs[i] with panic isolation: a panic inside the
 // simulation becomes a CellPanicError carrying the cell's config, the
 // panic value, and the stack, instead of crashing the whole sweep.
-func safeRun(cfg Config) (res *Result, err error) {
+func (r *Runner) safeRun(cfg Config) (res *Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			res = nil
 			err = &CellPanicError{Config: cfg, Value: v, Stack: string(debug.Stack())}
 		}
 	}()
+	if r.run != nil {
+		return r.run(cfg)
+	}
 	return runExperiment(cfg)
 }
 
@@ -171,7 +184,7 @@ func safeRun(cfg Config) (res *Result, err error) {
 // but reported as nil here, so the remaining cells keep running; the
 // typed error surfaces from RunAll's final scan.
 func (r *Runner) runOne(cfgs []Config, i int, results []*Result, errs []error, onDone func(int, *Result)) error {
-	res, err := safeRun(cfgs[i])
+	res, err := r.safeRun(cfgs[i])
 	_, panicked := err.(*CellPanicError)
 	switch {
 	case panicked:

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"ddio/internal/exp"
+)
+
+// cellCache is a mutex-guarded LRU of completed cell results, keyed by
+// exp.CellKey. Every simulation is a pure function of its Config, so an
+// entry never goes stale: eviction is purely a capacity decision, and a
+// hit is byte-for-byte equivalent to re-running the cell. Results are
+// stored by pointer and shared between requests; they are never mutated
+// after a run completes (the aggregation layers only read them).
+type cellCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	res *exp.Result
+}
+
+// newCellCache returns an LRU holding up to capacity cells (min 1).
+func newCellCache(capacity int) *cellCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cellCache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the cached result for key and marks it most recently used.
+func (c *cellCache) Get(key string) (*exp.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Add inserts (or refreshes) key, evicting the least recently used entry
+// when the cache is full.
+func (c *cellCache) Add(key string, res *exp.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// cacheStats is a point-in-time snapshot of the cache counters.
+type cacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Stats snapshots the counters.
+func (c *cellCache) Stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: c.ll.Len(), Capacity: c.cap}
+}

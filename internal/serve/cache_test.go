@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ddio/internal/exp"
+)
+
+func fakeResult(mbps float64) *exp.Result { return &exp.Result{MBps: mbps} }
+
+func TestCellCacheLRUEviction(t *testing.T) {
+	c := newCellCache(2)
+	c.Add("a", fakeResult(1))
+	c.Add("b", fakeResult(2))
+	// Touch "a" so "b" is the eviction victim when "c" arrives.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Add("c", fakeResult(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order ignores recency")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s evicted, want b evicted", key)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Hits: a, a, c. Miss: b after its eviction.
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hit/miss counters: %+v", st)
+	}
+}
+
+func TestCellCacheRefreshKeepsSingleEntry(t *testing.T) {
+	c := newCellCache(2)
+	c.Add("a", fakeResult(1))
+	c.Add("a", fakeResult(9))
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("duplicate Add grew the cache: %+v", st)
+	}
+	res, ok := c.Get("a")
+	if !ok || res.MBps != 9 {
+		t.Fatalf("refresh did not replace the value: %v %v", res, ok)
+	}
+}
+
+func TestFlightGroupCollapsesConcurrentCallers(t *testing.T) {
+	g := newFlightGroup()
+	var executions atomic.Int64
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	const followers = 5
+	var wg sync.WaitGroup
+	results := make([]*exp.Result, followers+1)
+	sharedFlags := make([]bool, followers+1)
+	run := func(i int, fn func() (*exp.Result, error)) {
+		defer wg.Done()
+		res, err, shared := g.Do("cell", fn)
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+		results[i], sharedFlags[i] = res, shared
+	}
+
+	wg.Add(1)
+	go run(0, func() (*exp.Result, error) {
+		close(leaderIn) // the leader is inside fn; followers may now pile on
+		executions.Add(1)
+		<-gate
+		return fakeResult(42), nil
+	})
+	<-leaderIn
+	var started sync.WaitGroup
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(i int) {
+			started.Done()
+			run(i, func() (*exp.Result, error) {
+				executions.Add(1)
+				return fakeResult(42), nil
+			})
+		}(i)
+	}
+	// Give the followers time to pile onto the in-flight call before the
+	// leader finishes. If one is late it becomes a fresh leader and the
+	// execution count below catches it.
+	started.Wait()
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("%d executions, want 1", n)
+	}
+	sharedCount := 0
+	for i, res := range results {
+		if res == nil || res.MBps != 42 {
+			t.Fatalf("caller %d result: %v", i, res)
+		}
+		if sharedFlags[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != followers {
+		t.Fatalf("%d callers shared, want %d", sharedCount, followers)
+	}
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"sync"
+
+	"ddio/internal/exp"
+)
+
+// flightGroup deduplicates concurrent executions of the same cell: the
+// first caller for a key becomes the leader and runs fn; every caller
+// that arrives while the leader is in flight blocks on the same call and
+// shares its result. This is what bounds a thundering herd — N identical
+// requests hitting a cold cache cost one simulation, not N.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *exp.Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do executes fn under key, collapsing concurrent calls for the same key
+// onto one execution. shared reports whether this caller received a
+// leader's result rather than running fn itself. The leader's fn is
+// responsible for publishing its result somewhere durable (the cell
+// cache) before Do removes the in-flight entry, so a caller that misses
+// both the cache and the flight window re-checks the cache inside its own
+// fn rather than re-simulating.
+func (g *flightGroup) Do(key string, fn func() (*exp.Result, error)) (res *exp.Result, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.res, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, c.err, false
+}

@@ -1,0 +1,132 @@
+package serve
+
+// fuzz_test.go fuzzes the daemon's request parsing — the SweepSpec and
+// fault.Plan envelopes of POST /v1/sweeps and the flat envelope of POST
+// /v1/runs — end to end through the HTTP handlers with a stubbed
+// simulator: malformed input must come back 4xx, valid input 2xx, and
+// nothing may panic or 500. `go test` runs the seed corpus as ordinary
+// regression tests; `go test -fuzz=FuzzSweepRequest ./internal/serve/`
+// explores from there.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// sweepSeeds covers the grammar: valid presets and inline specs, every
+// option field, fault plans, and a spread of malformed shapes.
+var sweepSeeds = []string{
+	`{"preset":"fig5-paper"}`,
+	`{"preset":"degrade-smoke","trials":2,"filemb":1,"seed":0,"verify":false}`,
+	`{"spec":{"name":"s","title":"t","axis":"cps","values":[1,2],
+		"layout":"random-blocks","methods":["tc","ddio-sort"],"patterns":["ra","rc"]},"trials":1,"filemb":1}`,
+	`{"preset":"fig5-paper","faults":{"disk_error_rate":0.01,"retry_limit":3,"stragglers":1,
+		"straggler_slowdown":2,"msg_loss_rate":0.001,"spike_rate":0.01,"spike_latency_ns":1000000}}`,
+	`{"spec":{"name":"d","title":"d","axis":"faultpm","values":[0,5],"layout":"contiguous",
+		"methods":["ddio"],"patterns":["ra"],"faults":{"retry_limit":2}},"trials":1,"filemb":1}`,
+	``,
+	`{`,
+	`{}`,
+	`[]`,
+	`null`,
+	`42`,
+	`"preset"`,
+	`{"preset":42}`,
+	`{"preset":"fig5-paper","trials":-1}`,
+	`{"preset":"fig5-paper","trials":99999999999999999999}`,
+	`{"preset":"fig5-paper","bogus":true}`,
+	`{"preset":"fig5-paper","faults":{"disk_error_rate":7}}`,
+	`{"preset":"fig5-paper","faults":{"unknown_knob":1}}`,
+	`{"spec":{"axis":"cps"}}`,
+	`{"spec":{"name":"s","title":"t","axis":"warp","values":[1],"layout":"random-blocks",
+		"methods":["tc"],"patterns":["ra"]}}`,
+	`{"preset":"fig5-paper"} {"preset":"fig5-paper"}`,
+	`{"preset":"\ud800"}`,
+	"{\"preset\":\"fig5-paper\"\x00}",
+}
+
+var runSeeds = []string{
+	`{"method":"tc","pattern":"ra"}`,
+	`{"method":"ddio-sort","pattern":"rc","layout":"contiguous","cps":4,"iops":4,"disks":4,
+		"filemb":1,"record":8,"seed":7,"verify":false}`,
+	`{"method":"2phase","pattern":"wb","faults":{"disk_error_rate":0.01,"retry_limit":2}}`,
+	``,
+	`{`,
+	`{}`,
+	`{"method":"nfs","pattern":"ra"}`,
+	`{"method":"tc","pattern":"zz"}`,
+	`{"method":"tc","pattern":"ra","layout":"diagonal"}`,
+	`{"method":"tc","pattern":"ra","cps":-1}`,
+	`{"method":"tc","pattern":"ra","record":3}`,
+	`{"method":"tc","pattern":"ra","bogus":1}`,
+	`{"method":"tc","pattern":"ra","faults":{"msg_loss_rate":-1}}`,
+	`{"method":"tc","pattern":"ra"} trailing`,
+}
+
+// fuzzServer is shared across fuzz iterations: parsing must be
+// reentrant, and a stubbed simulator keeps valid inputs cheap. MaxCells
+// is small so fuzz-found "valid but huge" specs are bounded by the 422
+// path rather than by memory.
+func fuzzServer() *Server {
+	s, _ := stubServer(Config{QueueDepth: 64, Concurrency: 4, MaxCells: 64})
+	return s
+}
+
+func fuzzPost(t *testing.T, s *Server, target string, body []byte) {
+	t.Helper()
+	req := httptest.NewRequest("POST", target, bytes.NewReader(body))
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req) // a panic fails the fuzz run
+	if rr.Code >= http.StatusInternalServerError {
+		t.Fatalf("%s: input produced %d, want 2xx/4xx: %q\n%s",
+			target, rr.Code, body, rr.Body.String())
+	}
+	if rr.Code >= 300 && rr.Code < 400 {
+		t.Fatalf("%s: unexpected redirect %d for %q", target, rr.Code, body)
+	}
+}
+
+func FuzzSweepRequest(f *testing.F) {
+	for _, seed := range sweepSeeds {
+		f.Add([]byte(seed))
+	}
+	s := fuzzServer()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzPost(t, s, "/v1/sweeps", data)
+		fuzzPost(t, s, "/v1/sweeps?format=json&async=1", data)
+	})
+}
+
+func FuzzRunRequest(f *testing.F) {
+	for _, seed := range runSeeds {
+		f.Add([]byte(seed))
+	}
+	s := fuzzServer()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzPost(t, s, "/v1/runs", data)
+	})
+}
+
+// FuzzParseSweepRequest fuzzes the parser in isolation (no HTTP): it
+// must return a request or an error, never panic, and a parsed request
+// must resolve without panicking.
+func FuzzParseSweepRequest(f *testing.F) {
+	for _, seed := range append(append([]string{}, sweepSeeds...), runSeeds...) {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := ParseSweepRequest(data)
+		if err == nil {
+			if _, rerr := q.ResolveSpec(); rerr == nil && q.Preset != "" && q.Spec != nil {
+				t.Fatal("both preset and spec survived validation")
+			}
+		}
+		if r, err := ParseRunRequest(data); err == nil {
+			if _, cerr := r.Config(); cerr != nil {
+				t.Fatalf("ParseRunRequest accepted a body whose Config fails: %v", cerr)
+			}
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package serve
+
+// golden_test.go pins the serving layer's headline promise with the real
+// simulator: POST /v1/sweeps for the degrade-smoke and fig5-paper
+// presets returns bytes identical to the cmd/figures artifacts for the
+// same spec and options — text table to its stdout, JSON/CSV/SVG to its
+// -json/-csv/-plot files — on the cold path AND on the cache-hit path.
+// The expected bytes are built here exactly the way cmd/figures builds
+// them (same library calls, same format strings), so a drift in either
+// the serving pipeline or the render formats fails this test.
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"ddio/internal/exp"
+	"ddio/internal/plot"
+)
+
+func TestServedSweepsMatchFiguresArtifacts(t *testing.T) {
+	presets := []struct {
+		name    string
+		body    string
+		degrade bool // has a faults template, so timesvg exists
+	}{
+		// degrade-smoke carries its own trials/filemb overrides; the
+		// request options mirror the figures CLI flag defaults.
+		{"degrade-smoke", `{"preset":"degrade-smoke"}`, true},
+		// fig5-paper at -trials 1 -filemb 1 keeps the paper figure's
+		// full grid while staying cheap.
+		{"fig5-paper", `{"preset":"fig5-paper","trials":1,"filemb":1}`, false},
+	}
+
+	s := New(Config{QueueDepth: 4, Concurrency: 1})
+	for _, p := range presets {
+		t.Run(p.name, func(t *testing.T) {
+			spec, ok := exp.LookupPreset(p.name)
+			if !ok {
+				t.Fatalf("preset %q missing", p.name)
+			}
+			// The options cmd/figures would build for
+			//   figures -sweep <name> [-trials 1 -filemb 1]
+			opts := exp.Options{Trials: 5, FileBytes: 10 * exp.MiB, Seed: 42, Verify: true}
+			if p.name == "fig5-paper" {
+				opts.Trials, opts.FileBytes = 1, exp.MiB
+			}
+			res, err := spec.RunFull(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantJSON, err := res.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[string]string{
+				// printTable in cmd/figures: Println(Format) + Printf(max cv).
+				"text": res.Table.Format() + "\n" + fmt.Sprintf("max cv %.3f\n\n", res.Table.MaxCV()),
+				"json": string(wantJSON),      // <name>.json
+				"csv":  res.LongCSV(),         // <name>-long.csv
+				"svg":  plot.SweepFigure(res), // <name>.svg
+			}
+			if p.degrade {
+				want["timesvg"] = plot.SweepTimeFigure(res) // <name>-time.svg
+				if want["timesvg"] == "" {
+					t.Fatal("degradation sweep produced no time figure")
+				}
+			}
+
+			cold := true
+			for _, format := range []string{"text", "json", "csv", "svg", "timesvg"} {
+				wantBody, ok := want[format]
+				if !ok {
+					continue
+				}
+				rr := do(t, s, "POST", "/v1/sweeps?format="+format, p.body)
+				if rr.Code != http.StatusOK {
+					t.Fatalf("%s: status %d: %s", format, rr.Code, rr.Body.String())
+				}
+				if rr.Body.String() != wantBody {
+					t.Fatalf("%s: served bytes differ from the figures artifact\nserved %d bytes, want %d",
+						format, rr.Body.Len(), len(wantBody))
+				}
+				hits, cells := rr.Header().Get("X-Cache-Hits"), rr.Header().Get("X-Cells")
+				if cold && hits != "0" {
+					t.Fatalf("first request reported %s cache hits", hits)
+				}
+				if !cold && hits != cells {
+					t.Fatalf("warm request: %s hits of %s cells", hits, cells)
+				}
+				cold = false
+			}
+
+			// And the cold format repeated is still byte-identical — the
+			// cache-hit path reruns the whole render pipeline, not a
+			// stored response.
+			rr := do(t, s, "POST", "/v1/sweeps?format=text", p.body)
+			if rr.Body.String() != want["text"] {
+				t.Fatal("cache-hit text differs from cold text")
+			}
+		})
+	}
+
+	// The entire test simulated each distinct cell exactly once.
+	st := s.StatsSnapshot()
+	if st.Cache.Misses < st.CellsSimulated {
+		t.Fatalf("inconsistent counters: %+v", st)
+	}
+}

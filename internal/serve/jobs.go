@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobView is the JSON shape of GET /v1/jobs/{id}: a point-in-time
+// snapshot of one admitted request.
+type JobView struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"` // "sweep" or "run"
+	Name   string `json:"name"` // spec/preset name, or method/pattern
+	Format string `json:"format"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	// Cells is the number of (cell × trial) simulations the request
+	// expands to; CacheHits of them were served from the cell cache.
+	Cells     int    `json:"cells,omitempty"`
+	CacheHits int64  `json:"cache_hits,omitempty"`
+	ResultURL string `json:"result_url,omitempty"` // present once done
+}
+
+// job is one admitted request: its public view plus the finished
+// response body. done is closed when the job leaves queued/running.
+type job struct {
+	mu   sync.Mutex
+	view JobView
+	done chan struct{}
+
+	body        []byte
+	contentType string
+}
+
+// snapshot returns the job's current public view.
+func (j *job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view
+}
+
+// setState transitions the job's lifecycle state.
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	j.view.State = state
+	j.mu.Unlock()
+}
+
+// finish records the outcome and wakes waiters. On success the rendered
+// body is retained for GET /v1/jobs/{id}/result.
+func (j *job) finish(body []byte, contentType string, cells int, hits int64, err error) {
+	j.mu.Lock()
+	j.view.Cells = cells
+	j.view.CacheHits = hits
+	if err != nil {
+		j.view.State = JobFailed
+		j.view.Error = err.Error()
+	} else {
+		j.view.State = JobDone
+		j.view.ResultURL = "/v1/jobs/" + j.view.ID + "/result"
+		j.body, j.contentType = body, contentType
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// result returns the finished body; ok is false until the job is done.
+func (j *job) result() (body []byte, contentType string, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.body, j.contentType, j.view.State == JobDone
+}
+
+// jobTable registers jobs under sequential ids and retains the most
+// recent keep finished jobs (older bodies are dropped with their jobs, so
+// an async client has a bounded window to collect a result).
+type jobTable struct {
+	mu    sync.Mutex
+	seq   int
+	keep  int
+	jobs  map[string]*job
+	order []string // insertion order, for pruning
+}
+
+func newJobTable(keep int) *jobTable {
+	if keep < 1 {
+		keep = 1
+	}
+	return &jobTable{keep: keep, jobs: make(map[string]*job)}
+}
+
+// add registers a new queued job and returns it.
+func (t *jobTable) add(kind, name, format string) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := "j" + strconv.Itoa(t.seq)
+	j := &job{done: make(chan struct{}), view: JobView{
+		ID: id, Kind: kind, Name: name, Format: format, State: JobQueued,
+	}}
+	t.jobs[id] = j
+	t.order = append(t.order, id)
+	// Prune oldest finished jobs beyond the retention window; queued and
+	// running jobs are never pruned.
+	for len(t.order) > t.keep {
+		pruned := false
+		for i, oid := range t.order {
+			old := t.jobs[oid]
+			select {
+			case <-old.done:
+				delete(t.jobs, oid)
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				pruned = true
+			default:
+				continue
+			}
+			break
+		}
+		if !pruned {
+			break
+		}
+	}
+	return j
+}
+
+// get returns the job registered under id.
+func (t *jobTable) get(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}

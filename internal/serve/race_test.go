@@ -1,0 +1,159 @@
+package serve
+
+// race_test.go pins the daemon's concurrency contract, and CI runs it
+// under the race detector: N concurrent POSTs of the same spec cost
+// exactly one underlying simulation per cell (cache + singleflight) and
+// every response is byte-identical. The stub sleeps inside the
+// "simulator" to hold cells in flight long enough that late requests
+// actually collide with leaders rather than finding a warm cache.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ddio/internal/exp"
+)
+
+func TestConcurrentIdenticalSweepsSimulateOnce(t *testing.T) {
+	const clients = 8
+	s := New(Config{QueueDepth: clients + 2, Concurrency: clients, Workers: 2})
+	var counts sync.Map
+	s.runCell = func(c exp.Config) (*exp.Result, error) {
+		n, _ := counts.LoadOrStore(exp.CellKey(c), new(atomic.Int64))
+		n.(*atomic.Int64).Add(1)
+		time.Sleep(2 * time.Millisecond) // keep the cell in flight
+		return stubResult(c), nil
+	}
+
+	body := `{"preset":"fig5-paper","trials":2,"filemb":1}`
+	type reply struct {
+		code  int
+		body  string
+		cells string
+	}
+	replies := make([]reply, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest("POST", "/v1/sweeps?format=json", strings.NewReader(body))
+			rr := httptest.NewRecorder()
+			s.ServeHTTP(rr, req)
+			replies[i] = reply{rr.Code, rr.Body.String(), rr.Header().Get("X-Cells")}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range replies {
+		if r.code != http.StatusOK {
+			t.Fatalf("client %d: status %d: %s", i, r.code, r.body)
+		}
+		if r.body != replies[0].body {
+			t.Fatalf("client %d: response differs from client 0", i)
+		}
+		if r.cells != replies[0].cells {
+			t.Fatalf("client %d: X-Cells %s != %s", i, r.cells, replies[0].cells)
+		}
+	}
+
+	// Exactly one simulation per distinct cell, no matter how the eight
+	// requests interleaved.
+	distinct := 0
+	counts.Range(func(key, n any) bool {
+		distinct++
+		if got := n.(*atomic.Int64).Load(); got != 1 {
+			t.Fatalf("cell %v simulated %d times, want 1", key, got)
+		}
+		return true
+	})
+	if distinct == 0 {
+		t.Fatal("no cells simulated")
+	}
+	if st := s.StatsSnapshot(); st.CellsSimulated != int64(distinct) {
+		t.Fatalf("cells_simulated = %d, want %d", st.CellsSimulated, distinct)
+	}
+
+	// A ninth request is pure cache: byte-identical, zero new runs.
+	req := httptest.NewRequest("POST", "/v1/sweeps?format=json", strings.NewReader(body))
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	if rr.Body.String() != replies[0].body {
+		t.Fatal("cache-hit response differs from cold responses")
+	}
+	if hits := rr.Header().Get("X-Cache-Hits"); hits != rr.Header().Get("X-Cells") {
+		t.Fatalf("warm request: hits %s of %s cells", hits, rr.Header().Get("X-Cells"))
+	}
+}
+
+// TestConcurrentRunsCollapseToOneSimulation drives the real simulator —
+// under -race this also exercises the engine's parallel paths — with
+// four concurrent identical single-run requests: one execution total,
+// identical summaries, and a summary that matches a direct library run.
+func TestConcurrentRunsCollapseToOneSimulation(t *testing.T) {
+	s := New(Config{QueueDepth: 8, Concurrency: 4})
+	var runs atomic.Int64
+	s.runCell = func(c exp.Config) (*exp.Result, error) {
+		runs.Add(1)
+		return exp.Run(c)
+	}
+
+	body := `{"method":"ddio-sort","pattern":"ra","filemb":1}`
+	const clients = 4
+	bodies := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest("POST", "/v1/runs", strings.NewReader(body))
+			rr := httptest.NewRecorder()
+			s.ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				t.Errorf("client %d: status %d: %s", i, rr.Code, rr.Body.String())
+			}
+			bodies[i] = rr.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("four identical runs cost %d simulations, want 1", n)
+	}
+
+	// All clients saw the same result modulo the "cached" flag, whose
+	// value depends on whether a client hit the cache or shared the
+	// leader's flight.
+	norm := func(b string) string {
+		b = strings.Replace(b, `"cached": true`, `"cached": X`, 1)
+		return strings.Replace(b, `"cached": false`, `"cached": X`, 1)
+	}
+	for i := 1; i < clients; i++ {
+		if norm(bodies[i]) != norm(bodies[0]) {
+			t.Fatalf("client %d summary differs:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+
+	// And the served numbers are the library's numbers.
+	cfg := exp.DefaultConfig()
+	cfg.Method = exp.DiskDirectedSort
+	cfg.Pattern = "ra"
+	cfg.FileBytes = exp.MiB
+	want, err := exp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := json.MarshalIndent(summarize(want, false), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := string(refBytes) + "\n"
+	if norm(bodies[0]) != norm(ref) {
+		t.Fatalf("served summary differs from direct library run:\n%s\nvs\n%s", bodies[0], ref)
+	}
+}

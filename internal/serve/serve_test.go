@@ -1,0 +1,362 @@
+package serve
+
+// serve_test.go exercises the daemon's HTTP surface end to end through
+// httptest: request validation (bad bodies are 400s, oversized sweeps
+// 422s), admission control (429 + Retry-After when the bounded queue is
+// full), the async job lifecycle, the single-run endpoint with its
+// cached/cell-key summary, and the stats/metrics counters. Simulation is
+// stubbed (deterministic results derived from the cell key) so these
+// tests pin serving behavior, not simulator behavior; golden_test.go
+// covers the real thing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ddio/internal/exp"
+)
+
+// tinySpec is a one-cell inline sweep request body.
+const tinySpec = `{"spec":{"name":"tiny","title":"tiny sweep","axis":"cps","values":[1],
+	"layout":"random-blocks","methods":["ddio-sort"],"patterns":["ra"]},"trials":1,"filemb":1}`
+
+// stubResult fabricates a deterministic Result from a config: throughput
+// and elapsed time are pure functions of the cell key, so stubbed sweeps
+// are exactly as repeatable as real ones.
+func stubResult(cfg exp.Config) *exp.Result {
+	v, err := strconv.ParseUint(exp.CellKey(cfg)[:12], 16, 64)
+	if err != nil {
+		panic(err)
+	}
+	mbps := 1 + float64(v%5000)/100
+	return &exp.Result{
+		Config:  cfg,
+		MBps:    mbps,
+		AggMBps: mbps,
+		Elapsed: time.Duration(1+v%1000) * time.Millisecond,
+		Events:  int64(v % 100000),
+	}
+}
+
+// stubServer returns a daemon whose runCell is stubbed, plus a per-key
+// execution counter map (cell key → *atomic.Int64).
+func stubServer(cfg Config) (*Server, *sync.Map) {
+	s := New(cfg)
+	var counts sync.Map
+	s.runCell = func(c exp.Config) (*exp.Result, error) {
+		n, _ := counts.LoadOrStore(exp.CellKey(c), new(atomic.Int64))
+		n.(*atomic.Int64).Add(1)
+		return stubResult(c), nil
+	}
+	return s, &counts
+}
+
+func do(t *testing.T, s *Server, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, target, nil)
+	} else {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := stubServer(Config{})
+	rr := do(t, s, "GET", "/healthz", "")
+	if rr.Code != http.StatusOK || rr.Body.String() != "ok\n" {
+		t.Fatalf("healthz: %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestPresets(t *testing.T) {
+	s, _ := stubServer(Config{})
+	rr := do(t, s, "GET", "/v1/presets", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("presets: %d %s", rr.Code, rr.Body.String())
+	}
+	var specs []*exp.SweepSpec
+	if err := json.Unmarshal(rr.Body.Bytes(), &specs); err != nil {
+		t.Fatalf("presets body: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, sp := range specs {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"fig5-paper", "degrade-smoke"} {
+		if !names[want] {
+			t.Fatalf("presets missing %q (got %d specs)", want, len(specs))
+		}
+	}
+}
+
+func TestSweepRejectsBadRequests(t *testing.T) {
+	s, _ := stubServer(Config{})
+	cases := []struct {
+		name, target, body string
+		want               int
+	}{
+		{"malformed json", "/v1/sweeps", `{"preset":`, http.StatusBadRequest},
+		{"unknown field", "/v1/sweeps", `{"preset":"fig5-paper","bogus":1}`, http.StatusBadRequest},
+		{"empty request", "/v1/sweeps", `{}`, http.StatusBadRequest},
+		{"preset and spec", "/v1/sweeps",
+			`{"preset":"fig5-paper","spec":{"name":"x","title":"x","axis":"cps","values":[1],
+				"layout":"random-blocks","methods":["tc"],"patterns":["ra"]}}`, http.StatusBadRequest},
+		{"unknown preset", "/v1/sweeps", `{"preset":"fig99"}`, http.StatusBadRequest},
+		{"negative trials", "/v1/sweeps", `{"preset":"fig5-paper","trials":-1}`, http.StatusBadRequest},
+		{"trailing data", "/v1/sweeps", `{"preset":"fig5-paper"} {}`, http.StatusBadRequest},
+		{"unknown format", "/v1/sweeps?format=pdf", `{"preset":"fig5-paper"}`, http.StatusBadRequest},
+		{"timesvg without faults", "/v1/sweeps?format=timesvg", `{"preset":"fig5-paper"}`,
+			http.StatusUnprocessableEntity},
+		{"bad fault plan", "/v1/sweeps", `{"preset":"fig5-paper","faults":{"disk_error_rate":2}}`,
+			http.StatusBadRequest},
+		{"run malformed", "/v1/runs", `{"method":`, http.StatusBadRequest},
+		{"run unknown method", "/v1/runs", `{"method":"nfs","pattern":"ra"}`, http.StatusBadRequest},
+		{"run unknown pattern", "/v1/runs", `{"method":"tc","pattern":"zz"}`, http.StatusBadRequest},
+		{"run bad trace", "/v1/runs?trace=pcap", `{"method":"tc","pattern":"ra"}`, http.StatusBadRequest},
+		{"job not found", "/v1/jobs/j999", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		method := "POST"
+		if c.body == "" {
+			method = "GET"
+		}
+		if rr := do(t, s, method, c.target, c.body); rr.Code != c.want {
+			t.Errorf("%s: got %d want %d (%s)", c.name, rr.Code, c.want, rr.Body.String())
+		}
+	}
+}
+
+func TestSweepSizeLimit(t *testing.T) {
+	s, counts := stubServer(Config{MaxCells: 3})
+	// fig5-paper expands far past 3 runs.
+	rr := do(t, s, "POST", "/v1/sweeps", `{"preset":"fig5-paper"}`)
+	if rr.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("oversized sweep: got %d want 422 (%s)", rr.Code, rr.Body.String())
+	}
+	// A hostile trial count is rejected before any grid is allocated.
+	rr = do(t, s, "POST", "/v1/sweeps", `{"preset":"fig5-paper","trials":1000000000}`)
+	if rr.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("hostile trials: got %d want 422 (%s)", rr.Code, rr.Body.String())
+	}
+	counts.Range(func(k, v any) bool {
+		t.Fatalf("rejected sweep still simulated cell %v", k)
+		return false
+	})
+}
+
+func TestSweepStubbedRoundTrip(t *testing.T) {
+	s, counts := stubServer(Config{})
+	rr := do(t, s, "POST", "/v1/sweeps?format=json", tinySpec)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", rr.Code, rr.Body.String())
+	}
+	if got := rr.Header().Get("Content-Type"); got != "application/json" {
+		t.Fatalf("content type %q", got)
+	}
+	if rr.Header().Get("X-Cells") != "1" || rr.Header().Get("X-Cache-Hits") != "0" {
+		t.Fatalf("cold headers: cells=%s hits=%s",
+			rr.Header().Get("X-Cells"), rr.Header().Get("X-Cache-Hits"))
+	}
+	var res exp.SweepResult
+	if err := json.Unmarshal(rr.Body.Bytes(), &res); err != nil {
+		t.Fatalf("sweep body: %v", err)
+	}
+
+	// Warm repeat: byte-identical, fully cache-served, zero simulations.
+	rr2 := do(t, s, "POST", "/v1/sweeps?format=json", tinySpec)
+	if rr2.Code != http.StatusOK || rr2.Body.String() != rr.Body.String() {
+		t.Fatalf("warm sweep not byte-identical (code %d)", rr2.Code)
+	}
+	if rr2.Header().Get("X-Cache-Hits") != "1" {
+		t.Fatalf("warm hits = %s, want 1", rr2.Header().Get("X-Cache-Hits"))
+	}
+	total := int64(0)
+	counts.Range(func(_, v any) bool { total += v.(*atomic.Int64).Load(); return true })
+	if total != 1 {
+		t.Fatalf("two identical sweeps cost %d simulations, want 1", total)
+	}
+
+	// Every format renders from the same cached cell.
+	for _, format := range []string{"text", "csv", "tablecsv", "svg"} {
+		rr := do(t, s, "POST", "/v1/sweeps?format="+format, tinySpec)
+		if rr.Code != http.StatusOK || rr.Body.Len() == 0 {
+			t.Fatalf("format %s: %d (%d bytes)", format, rr.Code, rr.Body.Len())
+		}
+	}
+	total = 0
+	counts.Range(func(_, v any) bool { total += v.(*atomic.Int64).Load(); return true })
+	if total != 1 {
+		t.Fatalf("formats re-simulated: %d runs total, want 1", total)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	s, _ := stubServer(Config{QueueDepth: 1, Concurrency: 1})
+	gate := make(chan struct{})
+	s.runCell = func(c exp.Config) (*exp.Result, error) {
+		<-gate
+		return stubResult(c), nil
+	}
+
+	// Fill the queue's single slot with an async job that blocks in the
+	// simulator...
+	rr := do(t, s, "POST", "/v1/sweeps?async=1", tinySpec)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", rr.Code, rr.Body.String())
+	}
+	var v JobView
+	if err := json.Unmarshal(rr.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...so the next request must be turned away, with Retry-After.
+	rr2 := do(t, s, "POST", "/v1/sweeps", tinySpec)
+	if rr2.Code != http.StatusTooManyRequests {
+		t.Fatalf("full queue: got %d want 429 (%s)", rr2.Code, rr2.Body.String())
+	}
+	if rr2.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := s.StatsSnapshot().JobsRejected; got != 1 {
+		t.Fatalf("jobs_rejected = %d, want 1", got)
+	}
+
+	// Unblock, drain the job, and verify the queue accepts work again.
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j := do(t, s, "GET", "/v1/jobs/"+v.ID, "")
+		var jv JobView
+		if err := json.Unmarshal(j.Body.Bytes(), &jv); err != nil {
+			t.Fatal(err)
+		}
+		if jv.State == JobDone {
+			break
+		}
+		if jv.State == JobFailed || time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q (%s)", v.ID, jv.State, jv.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rr3 := do(t, s, "POST", "/v1/sweeps", tinySpec); rr3.Code != http.StatusOK {
+		t.Fatalf("post-drain sweep: %d %s", rr3.Code, rr3.Body.String())
+	}
+}
+
+func TestAsyncJobLifecycle(t *testing.T) {
+	s, _ := stubServer(Config{})
+	// Sync response is the reference body.
+	ref := do(t, s, "POST", "/v1/sweeps?format=csv", tinySpec)
+	if ref.Code != http.StatusOK {
+		t.Fatalf("sync sweep: %d", ref.Code)
+	}
+
+	rr := do(t, s, "POST", "/v1/sweeps?format=csv&async=1", tinySpec)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", rr.Code, rr.Body.String())
+	}
+	var v JobView
+	if err := json.Unmarshal(rr.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" || v.Kind != "sweep" || v.Format != "csv" {
+		t.Fatalf("job view: %+v", v)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var final JobView
+	for {
+		j := do(t, s, "GET", "/v1/jobs/"+v.ID, "")
+		if err := json.Unmarshal(j.Body.Bytes(), &final); err != nil {
+			t.Fatal(err)
+		}
+		if final.State == JobDone {
+			break
+		}
+		if final.State == JobFailed || time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q (%s)", v.ID, final.State, final.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final.ResultURL == "" || final.Cells != 1 {
+		t.Fatalf("finished view: %+v", final)
+	}
+	res := do(t, s, "GET", final.ResultURL, "")
+	if res.Code != http.StatusOK {
+		t.Fatalf("job result: %d %s", res.Code, res.Body.String())
+	}
+	if res.Body.String() != ref.Body.String() {
+		t.Fatal("async result differs from sync response for the same request")
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	s, counts := stubServer(Config{})
+	body := `{"method":"ddio-sort","pattern":"ra","filemb":1}`
+	rr := do(t, s, "POST", "/v1/runs", body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("run: %d %s", rr.Code, rr.Body.String())
+	}
+	var sum RunSummary
+	if err := json.Unmarshal(rr.Body.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	// Method echoes the display name ("DDIO+sort"), which ParseMethod
+	// round-trips.
+	if sum.Method != "DDIO+sort" || sum.Pattern != "ra" || sum.Cached || len(sum.CellKey) != 64 {
+		t.Fatalf("summary: %+v", sum)
+	}
+
+	// Same run again: cached, same summary otherwise.
+	rr2 := do(t, s, "POST", "/v1/runs", body)
+	var sum2 RunSummary
+	if err := json.Unmarshal(rr2.Body.Bytes(), &sum2); err != nil {
+		t.Fatal(err)
+	}
+	if !sum2.Cached || sum2.CellKey != sum.CellKey || sum2.MBps != sum.MBps {
+		t.Fatalf("warm summary: %+v", sum2)
+	}
+	if n, ok := counts.Load(sum.CellKey); !ok || n.(*atomic.Int64).Load() != 1 {
+		t.Fatalf("cell simulated more than once")
+	}
+}
+
+func TestStatsAndMetrics(t *testing.T) {
+	s, _ := stubServer(Config{QueueDepth: 7})
+	do(t, s, "POST", "/v1/sweeps", tinySpec)
+	do(t, s, "POST", "/v1/sweeps", tinySpec)
+
+	rr := do(t, s, "GET", "/v1/stats", "")
+	var st Stats
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.CellsSimulated != 1 || st.Cache.Hits != 1 || st.JobsAdmitted != 2 ||
+		st.QueueCapacity != 7 || st.Cache.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	mr := do(t, s, "GET", "/metrics", "")
+	for _, line := range []string{
+		"ddiosimd_cache_hits_total 1\n",
+		"ddiosimd_cells_simulated_total 1\n",
+		"ddiosimd_jobs_admitted_total 2\n",
+		fmt.Sprintf("ddiosimd_queue_capacity %d\n", 7),
+	} {
+		if !strings.Contains(mr.Body.String(), line) {
+			t.Fatalf("metrics missing %q in:\n%s", line, mr.Body.String())
+		}
+	}
+}
