@@ -28,6 +28,7 @@ import (
 	"ddio/internal/pfs"
 	"ddio/internal/plot"
 	"ddio/internal/trace"
+	"ddio/internal/workload"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 	traceCSV := flag.String("tracecsv", "", "write the run's event trace as long-format CSV to this file (single run; forces -trials 1)")
 	plotOut := flag.String("plot", "", "write an SVG to this file: a disk-utilization timeline for a single run, the sweep figure with -sweep")
 	faultsArg := flag.String("faults", "", "fault plan: inline JSON ({\"disk_error_rate\":0.05,...}) or a plan file; see EXPERIMENTS.md")
+	workloadArg := flag.String("workload", "", "workload: inline JSON spec, a spec file, or a .csv block trace; see EXPERIMENTS.md")
 	flag.IntVar(&cfg.NCP, "cps", cfg.NCP, "number of compute processors")
 	flag.IntVar(&cfg.NIOP, "iops", cfg.NIOP, "number of I/O processors (one bus each)")
 	flag.IntVar(&cfg.NDisks, "disks", cfg.NDisks, "number of disks")
@@ -65,6 +67,13 @@ func main() {
 			fatal(err)
 		}
 	}
+	var wl *workload.Spec
+	if *workloadArg != "" {
+		var err error
+		if wl, err = workload.ResolveSpec(*workloadArg); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *sweep != "" {
 		if *traceOut != "" || *traceCSV != "" {
@@ -77,6 +86,7 @@ func main() {
 			Verify:    cfg.Verify,
 			Workers:   *workers,
 			Faults:    plan,
+			Workload:  wl,
 		}
 		if *verbose {
 			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
@@ -123,6 +133,7 @@ func main() {
 	cfg.Pattern = *pattern
 	cfg.FileBytes = *fileMB * exp.MiB
 	cfg.Faults = plan
+	cfg.Workload = wl
 
 	if *sweepJSON != "" || *sweepCSV != "" {
 		fmt.Fprintln(os.Stderr, "ddiosim: -sweepjson/-sweepcsv apply only with -sweep; ignored")
@@ -150,6 +161,9 @@ func main() {
 	r := t.Results[0]
 	fmt.Printf("%s %s on %s layout: %.2f MB/s (cv %.3f over %d trials)\n",
 		cfg.Method, cfg.Pattern, cfg.Layout, t.Mean, t.CV, len(t.Results))
+	if wl.Enabled() {
+		fmt.Printf("  workload: %s\n", wl.Summary())
+	}
 	fmt.Printf("  elapsed %v, %d MiB moved, hardware ceiling %.1f MB/s\n",
 		r.Elapsed.Round(10*time.Microsecond), r.MovedBytes/exp.MiB, cfg.MaxBandwidthMBps())
 	if *verbose {

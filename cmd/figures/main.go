@@ -46,6 +46,7 @@ import (
 	"ddio/internal/fault"
 	"ddio/internal/pfs"
 	"ddio/internal/plot"
+	"ddio/internal/workload"
 )
 
 func main() {
@@ -65,6 +66,7 @@ func main() {
 	traceRuns := flag.Bool("trace", false, "run one traced Figure-3a-style transfer per file system; write timeline SVGs + JSONL traces")
 	out := flag.String("out", "", "directory for CSV/JSON/SVG output (default: current)")
 	faultsArg := flag.String("faults", "", "fault plan for every run: inline JSON or a plan file (sweep specs with their own faults template take precedence)")
+	workloadArg := flag.String("workload", "", "workload for every run: inline JSON spec, a spec file, or a .csv block trace (sweep specs with their own workload template take precedence)")
 	flag.Parse()
 
 	if *listSweeps {
@@ -88,6 +90,13 @@ func main() {
 			fatal(err)
 		}
 		opt.Faults = plan
+	}
+	if *workloadArg != "" {
+		wl, err := workload.ResolveSpec(*workloadArg)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Workload = wl
 	}
 	if !*quiet {
 		start := time.Now()

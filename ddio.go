@@ -29,6 +29,7 @@ import (
 	"ddio/internal/plot"
 	"ddio/internal/serve"
 	"ddio/internal/trace"
+	"ddio/internal/workload"
 )
 
 // MiB is 2^20 bytes; the paper's "Mbytes/s" are MiB/s.
@@ -190,6 +191,33 @@ func ParseFaultPlan(data []byte) (*FaultPlan, error) { return fault.ParsePlan(da
 // ResolveFaultPlan turns a -faults style argument — inline JSON (starts
 // with '{') or a path to a plan file — into a validated plan.
 func ResolveFaultPlan(arg string) (*FaultPlan, error) { return fault.ResolvePlan(arg) }
+
+// WorkloadSpec declares per-CP request streams for a run — synthetic
+// access patterns (uniform, skewed, hotspot, Zipf, plus the paper's
+// collective patterns), record-size mixes, read/write fractions, and
+// arrival processes (closed-loop think time or open Poisson), in
+// multi-phase sequences separated by barriers — or a replayed block
+// trace (see internal/workload). Assign one to Config.Workload; nil
+// keeps the classic whole-file collective transfer and leaves runs
+// byte-identical to a build without the workload layer.
+type WorkloadSpec = workload.Spec
+
+// WorkloadPhase is one phase of a WorkloadSpec.
+type WorkloadPhase = workload.Phase
+
+// ParseWorkload parses and validates a JSON workload spec (durations
+// are nanosecond integers; see EXPERIMENTS.md "Workloads and trace
+// replay").
+func ParseWorkload(data []byte) (*WorkloadSpec, error) { return workload.Parse(data) }
+
+// ResolveWorkload turns a -workload style argument — inline JSON
+// (starts with '{'), a path to a spec file, or a path to a .csv block
+// trace — into a validated spec.
+func ResolveWorkload(arg string) (*WorkloadSpec, error) { return workload.ResolveSpec(arg) }
+
+// LoadTrace reads a CSV block trace (time,node,op,offset,bytes; see
+// EXPERIMENTS.md) into a single-phase replay spec.
+func LoadTrace(path string) (*WorkloadSpec, error) { return workload.LoadTrace(path) }
 
 // TraceRecorder is a passive event-trace recorder (see internal/trace):
 // attached to a run it captures disk busy/idle intervals, queue depths,

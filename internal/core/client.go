@@ -14,7 +14,7 @@ import (
 type Client struct {
 	m       *cluster.Machine
 	f       *pfs.File
-	dec     *hpf.Decomp
+	dec     hpf.Access
 	prm     Params
 	servers []*Server
 
@@ -24,7 +24,7 @@ type Client struct {
 }
 
 // NewClient builds the collective client for all of the machine's CPs.
-func NewClient(m *cluster.Machine, f *pfs.File, dec *hpf.Decomp, servers []*Server, prm Params) *Client {
+func NewClient(m *cluster.Machine, f *pfs.File, dec hpf.Access, servers []*Server, prm Params) *Client {
 	return &Client{
 		m:       m,
 		f:       f,

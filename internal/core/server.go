@@ -18,7 +18,7 @@ import (
 // (the paper's "determine the set of file data local to this IOP").
 type collReq struct {
 	write bool
-	dec   *hpf.Decomp
+	dec   hpf.Access
 	src   *cluster.Node
 	done  *sim.WaitGroup // signaled (once per IOP) back at the requester
 }
@@ -98,9 +98,22 @@ func (s *Server) serve(p *sim.Proc, req *collReq) {
 	// Plan: the per-disk block lists, sorted by physical location when
 	// presorting (Figure 1c), otherwise in file order.
 	totalBlocks := 0
+	bs := int64(s.f.BlockSize)
 	plans := make([][]int, len(s.localDisks))
 	for i, d := range s.localDisks {
 		blocks := s.f.LocalBlocks(d)
+		if req.dec.Partial() {
+			// A partial access (workload request streams) touches only
+			// some blocks; plan only those the pattern covers.
+			// LocalBlocks returns a fresh slice, so filter in place.
+			kept := blocks[:0]
+			for _, b := range blocks {
+				if len(req.dec.RunsInRange(int64(b)*bs, bs)) > 0 {
+					kept = append(kept, b)
+				}
+			}
+			blocks = kept
+		}
 		if s.prm.Presort {
 			blocks = append([]int(nil), blocks...)
 			sort.Slice(blocks, func(a, b int) bool {
@@ -208,7 +221,7 @@ func (it *blockIter) take() (int, bool) {
 }
 
 // readLoop: disk → buffer → Memputs to the destination CPs.
-func (s *Server) readLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.Decomp, delivered *sim.WaitGroup) {
+func (s *Server) readLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec hpf.Access, delivered *sim.WaitGroup) {
 	bs := int64(s.f.BlockSize)
 	for {
 		b, ok := it.take()
@@ -246,7 +259,7 @@ func (s *Server) readLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.De
 }
 
 // writeLoop: Memgets from the source CPs → buffer → disk.
-func (s *Server) writeLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec *hpf.Decomp, delivered *sim.WaitGroup) {
+func (s *Server) writeLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec hpf.Access, delivered *sim.WaitGroup) {
 	bs := int64(s.f.BlockSize)
 	for {
 		b, ok := it.take()

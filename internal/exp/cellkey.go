@@ -26,6 +26,7 @@ import (
 	"ddio/internal/netsim"
 	"ddio/internal/tcfs"
 	"ddio/internal/twophase"
+	"ddio/internal/workload"
 )
 
 // The substrate parameter structs are hashed through exact mirror types
@@ -151,6 +152,12 @@ type cellKeyView struct {
 	// a zero plan hash differently even though they behave identically;
 	// the split only costs a duplicate cache entry, never a wrong result.
 	Faults *fault.Plan
+
+	// Workload is the spec verbatim: every phase knob (pattern, request
+	// count, record sizes, mix, arrival process, trace entries) feeds the
+	// key, so two cells differing in any workload parameter never share a
+	// cache slot. Same nil-vs-zero note as Faults.
+	Workload *workload.Spec
 }
 
 // CellKey returns the canonical content hash of one resolved experiment
@@ -188,6 +195,7 @@ func cellKeyBytes(cfg Config) []byte {
 		DD:           ddKeyView(cfg.DD),
 		TP:           tpKeyView(cfg.TP),
 		Faults:       cfg.Faults,
+		Workload:     cfg.Workload,
 	}
 	if cfg.DiskSched != nil {
 		v.DiskSched = cfg.DiskSched.Name()

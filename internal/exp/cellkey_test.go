@@ -17,6 +17,7 @@ import (
 
 	"ddio/internal/fault"
 	"ddio/internal/pfs"
+	"ddio/internal/workload"
 )
 
 // randomConfig builds a randomized but structurally plausible Config.
@@ -47,7 +48,34 @@ func randomConfig(r *rand.Rand) Config {
 			RetryLimit:        1 + r.Intn(5),
 		}
 	}
+	if r.Intn(3) == 0 {
+		frac := float64(r.Intn(100)) / 100
+		cfg.Workload = &workload.Spec{
+			Name: "k",
+			Phases: []workload.Phase{{
+				Pattern:      workload.PatternSkew,
+				Requests:     1 + r.Intn(200),
+				Alpha:        r.Float64() * 2,
+				ReadFraction: &frac,
+				Arrival:      "poisson",
+				RatePerSec:   float64(1 + r.Intn(5000)),
+			}},
+		}
+	}
 	return cfg
+}
+
+// mutateWL clones the config's workload (nil-safely), guarantees a
+// synthetic phase to edit, applies the knob edit, and reassigns — so
+// every workload mutation below is meaningful whether or not the base
+// config carried a workload.
+func mutateWL(c *Config, edit func(*workload.Phase)) {
+	w := c.Workload.Clone()
+	if len(w.Phases) == 0 {
+		w.Phases = []workload.Phase{{Pattern: workload.PatternUniform, Requests: 8}}
+	}
+	edit(&w.Phases[0])
+	c.Workload = w
 }
 
 // cellKeyMutations are single-field edits, each of which must change the
@@ -109,6 +137,60 @@ var cellKeyMutations = []struct {
 			p.DiskErrorRate += 0.001
 			c.Faults = p
 		}
+	}},
+	// One mutation per workload knob: each must perturb the key whether
+	// or not the base config carried a workload (mutateWL is nil-safe).
+	{"wl-enabled", func(c *Config) {
+		w := c.Workload.Clone()
+		w.Phases = append(w.Phases, workload.Phase{Pattern: "rb"})
+		c.Workload = w
+	}},
+	{"wl-name", func(c *Config) {
+		w := c.Workload.Clone()
+		w.Name += "x"
+		c.Workload = w
+	}},
+	{"wl-pattern", func(c *Config) {
+		mutateWL(c, func(p *workload.Phase) {
+			if p.Pattern == workload.PatternUniform {
+				p.Pattern = workload.PatternHotspot
+			} else {
+				p.Pattern = workload.PatternUniform
+			}
+		})
+	}},
+	{"wl-requests", func(c *Config) { mutateWL(c, func(p *workload.Phase) { p.Requests++ }) }},
+	{"wl-record-size", func(c *Config) { mutateWL(c, func(p *workload.Phase) { p.RecordSize += 8 }) }},
+	{"wl-record-sizes", func(c *Config) {
+		mutateWL(c, func(p *workload.Phase) { p.RecordSizes = append(p.RecordSizes, 4096) })
+	}},
+	{"wl-read-fraction", func(c *Config) {
+		mutateWL(c, func(p *workload.Phase) {
+			v := 0.5
+			if p.ReadFraction != nil {
+				v = *p.ReadFraction + 1
+			}
+			p.ReadFraction = &v
+		})
+	}},
+	{"wl-alpha", func(c *Config) { mutateWL(c, func(p *workload.Phase) { p.Alpha += 0.25 }) }},
+	{"wl-hot-fraction", func(c *Config) { mutateWL(c, func(p *workload.Phase) { p.HotFraction += 0.1 }) }},
+	{"wl-hot-weight", func(c *Config) { mutateWL(c, func(p *workload.Phase) { p.HotWeight += 0.1 }) }},
+	{"wl-arrival", func(c *Config) {
+		mutateWL(c, func(p *workload.Phase) {
+			if p.Arrival == "poisson" {
+				p.Arrival = "closed"
+			} else {
+				p.Arrival = "poisson"
+			}
+		})
+	}},
+	{"wl-think", func(c *Config) { mutateWL(c, func(p *workload.Phase) { p.Think += time.Microsecond }) }},
+	{"wl-rate", func(c *Config) { mutateWL(c, func(p *workload.Phase) { p.RatePerSec += 100 }) }},
+	{"wl-trace", func(c *Config) {
+		mutateWL(c, func(p *workload.Phase) {
+			p.Trace = append(p.Trace, workload.TraceReq{Op: "r", Bytes: 8})
+		})
 	}},
 }
 

@@ -19,6 +19,7 @@ import (
 	"ddio/internal/tcfs"
 	"ddio/internal/trace"
 	"ddio/internal/twophase"
+	"ddio/internal/workload"
 )
 
 // MiB matches the paper's "Mbytes": the quoted disk peak of 2.34
@@ -125,6 +126,15 @@ type Config struct {
 	// injection. The plan is read-only during runs and may be shared
 	// across trials and Runner workers.
 	Faults *fault.Plan
+
+	// Workload, when non-nil and enabled, replaces the classic
+	// whole-file collective transfer with the declared request streams
+	// (synthetic phases, trace replay — see internal/workload), driven
+	// through the selected method. nil (or a phase-less spec) leaves
+	// the run byte-identical to a build without the workload layer.
+	// The spec is read-only during runs and may be shared across trials
+	// and Runner workers.
+	Workload *workload.Spec
 }
 
 // DefaultConfig returns the paper's Table 1 configuration: 16 CPs, 16
@@ -155,25 +165,70 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks internal consistency.
+// ConfigError is the typed validation error Config.Validate returns:
+// which field (or field combination) is impossible, and why. Err, when
+// non-nil, carries the underlying layer's error (fault plans, workload
+// specs) for errors.Is/As chains.
+type ConfigError struct {
+	Field  string // the offending field, e.g. "record_size"
+	Reason string
+	Err    error // underlying cause, when the failure came from a sub-plan
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("exp: config %s: %s", e.Field, e.Reason)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+func cfgErr(field, format string, args ...any) *ConfigError {
+	return &ConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks internal consistency: every impossible combination —
+// sizes that cannot tile the file, records larger than the file, fault
+// or workload plans that do not fit the machine — is reported as a
+// typed *ConfigError before any simulation starts, never by a
+// mid-run panic.
 func (c *Config) Validate() error {
 	switch {
 	case c.NCP < 1 || c.NIOP < 1 || c.NDisks < 1:
-		return fmt.Errorf("exp: need at least one CP, IOP and disk")
-	case c.FileBytes <= 0 || c.BlockSize <= 0 || c.RecordSize <= 0:
-		return fmt.Errorf("exp: file, block and record sizes must be positive")
+		return cfgErr("machine", "need at least one CP, IOP and disk (have %d/%d/%d)", c.NCP, c.NIOP, c.NDisks)
+	case c.FileBytes <= 0:
+		return cfgErr("file_bytes", "file size %d must be positive", c.FileBytes)
+	case c.BlockSize <= 0:
+		return cfgErr("block_size", "block size %d must be positive", c.BlockSize)
+	case c.RecordSize <= 0:
+		return cfgErr("record_size", "record size %d must be positive", c.RecordSize)
+	case int64(c.BlockSize) > c.FileBytes:
+		return cfgErr("block_size", "block size %d exceeds file size %d", c.BlockSize, c.FileBytes)
+	case int64(c.RecordSize) > c.FileBytes:
+		return cfgErr("record_size", "record size %d exceeds file size %d", c.RecordSize, c.FileBytes)
 	case c.FileBytes%int64(c.BlockSize) != 0:
-		return fmt.Errorf("exp: file size %d not a multiple of block size %d", c.FileBytes, c.BlockSize)
+		return cfgErr("file_bytes", "file size %d not a multiple of block size %d", c.FileBytes, c.BlockSize)
 	case c.FileBytes%int64(c.RecordSize) != 0:
-		return fmt.Errorf("exp: file size %d not a multiple of record size %d", c.FileBytes, c.RecordSize)
+		return cfgErr("file_bytes", "file size %d not a multiple of record size %d", c.FileBytes, c.RecordSize)
 	case c.Disk == nil:
-		return fmt.Errorf("exp: no disk spec")
+		return cfgErr("disk", "no disk spec")
 	case c.BlockSize%c.Disk.SectorSize != 0:
-		return fmt.Errorf("exp: block size %d not a multiple of sector size %d", c.BlockSize, c.Disk.SectorSize)
+		return cfgErr("block_size", "block size %d not a multiple of sector size %d", c.BlockSize, c.Disk.SectorSize)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(c.NDisks); err != nil {
-			return err
+			return &ConfigError{Field: "faults", Reason: err.Error(), Err: err}
+		}
+	}
+	if c.Workload.Enabled() {
+		shape := workload.Shape{
+			NCP:        c.NCP,
+			FileBytes:  c.FileBytes,
+			BlockSize:  c.BlockSize,
+			RecordSize: c.RecordSize,
+		}
+		if err := c.Workload.Validate(&shape); err != nil {
+			return &ConfigError{Field: "workload", Reason: err.Error(), Err: err}
 		}
 	}
 	return nil

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"errors"
+	"testing"
+
+	"ddio/internal/fault"
+	"ddio/internal/workload"
+)
+
+// TestValidateTypedErrors pins that every impossible Config is rejected
+// with a typed *ConfigError naming the offending field before any
+// simulation starts — record sizes beyond the file, shapes that cannot
+// tile, missing disk specs — instead of a silent acceptance or a
+// mid-run panic.
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		edit  func(*Config)
+		field string
+	}{
+		{"no CPs", func(c *Config) { c.NCP = 0 }, "machine"},
+		{"negative IOPs", func(c *Config) { c.NIOP = -1 }, "machine"},
+		{"no disks", func(c *Config) { c.NDisks = 0 }, "machine"},
+		{"zero file", func(c *Config) { c.FileBytes = 0 }, "file_bytes"},
+		{"zero block", func(c *Config) { c.BlockSize = 0 }, "block_size"},
+		{"zero record", func(c *Config) { c.RecordSize = 0 }, "record_size"},
+		{"block beyond file", func(c *Config) { c.FileBytes = 4096; c.BlockSize = 8192; c.RecordSize = 8 }, "block_size"},
+		{"record beyond file", func(c *Config) { c.RecordSize = int(c.FileBytes) * 2 }, "record_size"},
+		{"file not block multiple", func(c *Config) { c.FileBytes += 3 }, "file_bytes"},
+		{"file not record multiple", func(c *Config) { c.RecordSize = 8192 + 512 }, "file_bytes"},
+		{"no disk spec", func(c *Config) { c.Disk = nil }, "disk"},
+		{"block not sector multiple", func(c *Config) {
+			c.BlockSize = 8192 + 1
+			c.RecordSize = c.BlockSize
+			c.FileBytes = int64(c.BlockSize) * 128
+		}, "block_size"},
+		{"bad fault plan", func(c *Config) { c.Faults = &fault.Plan{DiskErrorRate: 2} }, "faults"},
+		{"bad workload", func(c *Config) {
+			c.Workload = &workload.Spec{Phases: []workload.Phase{{Pattern: "bogus"}}}
+		}, "workload"},
+		{"workload beyond file", func(c *Config) {
+			c.Workload = &workload.Spec{Phases: []workload.Phase{{
+				Pattern: workload.PatternUniform, Requests: 1, RecordSize: int(c.FileBytes) * 2,
+			}}}
+		}, "workload"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.edit(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var cerr *ConfigError
+		if !errors.As(err, &cerr) {
+			t.Errorf("%s: error %T is not *ConfigError: %v", tc.name, err, err)
+			continue
+		}
+		if cerr.Field != tc.field {
+			t.Errorf("%s: error field %q, want %q (%v)", tc.name, cerr.Field, tc.field, err)
+		}
+	}
+	valid := DefaultConfig()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+// TestValidateUnwraps pins that sub-plan failures keep their underlying
+// typed error reachable through errors.As — callers can distinguish a
+// workload DSL error from a shape error without string matching.
+func TestValidateUnwraps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload = &workload.Spec{Phases: []workload.Phase{{Pattern: workload.PatternZipf, Requests: 1, Alpha: 0.5}}}
+	err := cfg.Validate()
+	var werr *workload.Error
+	if !errors.As(err, &werr) {
+		t.Fatalf("workload cause not unwrapped from %v", err)
+	}
+	if werr.Field != "phases[0].alpha" {
+		t.Errorf("cause field = %q", werr.Field)
+	}
+}
+
+// TestRunRejectsInvalid: Run surfaces the typed validation error, never
+// a panic, for a config that used to slip through to a mid-run crash.
+func TestRunRejectsInvalid(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.RecordSize = int(cfg.FileBytes) * 4
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted record size beyond the file")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"ddio/internal/fault"
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
+	"ddio/internal/workload"
 )
 
 // Options control figure regeneration. The paper used five trials of a
@@ -30,6 +31,11 @@ type Options struct {
 	// (see Config.Faults). Sweep specs with their own Faults template
 	// override it.
 	Faults *fault.Plan
+	// Workload, when non-nil, is the request-stream spec every run
+	// executes instead of the classic whole-file transfer (see
+	// Config.Workload). Sweep specs with their own Workload template
+	// override it.
+	Workload *workload.Spec
 	// RunCell, when non-nil, replaces the per-cell execution function
 	// (default: Run) on the runner these options build — the serving
 	// layer's cache/singleflight hook (see Runner.SetRunFunc for the
@@ -48,6 +54,7 @@ func (o Options) base() Config {
 	cfg.Seed = o.Seed
 	cfg.Verify = o.Verify
 	cfg.Faults = o.Faults
+	cfg.Workload = o.Workload
 	return cfg
 }
 

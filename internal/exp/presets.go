@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ddio/internal/fault"
+	"ddio/internal/workload"
 )
 
 // presets.go is the registry of built-in sweep specs. The *-paper
@@ -31,6 +32,26 @@ func degradePlan() *fault.Plan {
 		StragglerSlowdown: 4,
 		RetryLimit:        6,
 		RetryBackoff:      2 * time.Millisecond,
+	}
+}
+
+// skewWorkload is the workload template the wl-* presets sweep: a
+// skewed, read-mostly request stream with open Poisson arrivals (the
+// RatePerSec here is a placeholder — the wlrate axis overlays the swept
+// rate per row). The shape deliberately exercises what whole-file
+// collectives cannot: non-uniform access and an open arrival process.
+func skewWorkload(requests int) *workload.Spec {
+	frac := 0.8
+	return &workload.Spec{
+		Name: "skew-open",
+		Phases: []workload.Phase{{
+			Pattern:      workload.PatternSkew,
+			Requests:     requests,
+			Alpha:        1.2,
+			ReadFraction: &frac,
+			Arrival:      "poisson",
+			RatePerSec:   1000,
+		}},
 	}
 }
 
@@ -148,6 +169,26 @@ func Presets() []*SweepSpec {
 				RetryLimit:        6,
 				RetryBackoff:      time.Millisecond,
 			},
+		},
+		{
+			Name: "wl-rate", Extends: "beyond-paper workload study",
+			Title:  "throughput vs open-arrival rate, requests/s (skewed 80/20 mix, random-blocks, 8 KB records)",
+			Note:   "closed whole-file collectives cannot chart offered load; this sweep can",
+			Axis:   AxisWLRate,
+			Values: []int{200, 500, 1000, 2000, 5000},
+			Layout: "random-blocks", Methods: []string{"ddio-sort", "tc", "2phase"}, Patterns: []string{"rb"},
+			Workload: skewWorkload(512),
+		},
+		{
+			Name: "wl-smoke", Extends: "wl-rate (tiny CI smoke)",
+			Title:  "throughput vs open-arrival rate, requests/s (smoke axes, skewed 80/20 mix)",
+			Note:   "CI smoke preset: 1 trial of a 1 MB file on a 4-CP/4-IOP/4-disk machine",
+			Axis:   AxisWLRate,
+			Values: []int{200, 1000},
+			CPs:    4, IOPs: 4, Disks: 4,
+			Layout: "random-blocks", Methods: []string{"ddio-sort", "tc", "2phase"}, Patterns: []string{"rb"},
+			Trials: 1, FileMB: 1,
+			Workload: skewWorkload(96),
 		},
 		{
 			Name: "ext-smoke", Extends: "fig5 (tiny beyond-paper smoke)",

@@ -89,10 +89,147 @@ func cpProcName(cp int) string {
 	return fmt.Sprintf("cp%d", cp)
 }
 
-// Run executes one experiment.
+// machine is the assembled simulated hardware of one run: engine,
+// interconnect, buses, disks, and the striped file — everything below
+// the file-system method. Built identically for classic and workload
+// runs so the substrate streams (layout, jitter, faults) draw the same
+// values either way.
+type machine struct {
+	eng   *sim.Engine
+	rng   *sim.Rand
+	inj   *fault.Injector
+	m     *cluster.Machine
+	buses []*bus.Bus
+	disks []*disk.Disk
+	f     *pfs.File
+}
+
+// buildMachine assembles the simulated machine from cfg. It may arm
+// cfg.TC.Retry/cfg.DD.Retry from the fault plan — pass a private copy.
+// The caller owns mc.Close.
+func buildMachine(cfg *Config) (*machine, error) {
+	mc := &machine{eng: sim.NewEngine()}
+	mc.eng.SetRecorder(cfg.Trace) // before machine build: components capture it
+	mc.rng = sim.NewRand(cfg.Seed)
+	// The injector draws only from dedicated "fault-*" sub-streams, so a
+	// nil (or disabled) plan leaves the layout and jitter streams — and
+	// therefore the whole run — bit-identical to a faultless build.
+	mc.inj = fault.NewInjector(cfg.Faults, mc.rng, cfg.NDisks)
+	if pol := mc.inj.Retry(); pol.Enabled() {
+		cfg.TC.Retry = pol // also covers the two-phase path (it runs on tcfs servers)
+		cfg.DD.Retry = pol
+	}
+	mc.m = cluster.New(mc.eng, cfg.Net, cfg.NCP, cfg.NIOP, mc.rng)
+	mc.m.InjectFaults(mc.inj)
+
+	mc.buses = make([]*bus.Bus, cfg.NIOP)
+	for i := range mc.buses {
+		mc.buses[i] = bus.New(mc.eng, fmt.Sprintf("bus%d", i), cfg.BusBandwidth, cfg.BusOverhead)
+	}
+	mc.disks = make([]*disk.Disk, cfg.NDisks)
+	for d := range mc.disks {
+		mc.disks[d] = disk.New(mc.eng, fmt.Sprintf("d%d", d), cfg.Disk, mc.buses[d%cfg.NIOP], cfg.DiskSched)
+		mc.disks[d].SetFaults(mc.inj.Disk(d))
+	}
+	f, err := pfs.NewFile(mc.disks, cfg.BlockSize, cfg.NumBlocks(), cfg.Layout, mc.rng)
+	if err != nil {
+		mc.eng.Close()
+		return nil, err
+	}
+	mc.f = f
+	return mc, nil
+}
+
+// Close releases the machine's engine resources.
+func (mc *machine) Close() { mc.eng.Close() }
+
+// collectSubstrate sums the machine-level metrics — disks, buses,
+// interconnect, CPU busy time, fault totals — into r. Call after the
+// method counters (TC/DD) are collected: the fault block folds in
+// their retry counts.
+func (mc *machine) collectSubstrate(r *Result) {
+	for _, d := range mc.disks {
+		dm := d.Metrics()
+		r.Disk.Reads += dm.Reads
+		r.Disk.Writes += dm.Writes
+		r.Disk.CacheHits += dm.CacheHits
+		r.Disk.CacheStream += dm.CacheStreams
+		r.Disk.Seeks += dm.SeekCount
+		r.Disk.SeekCylinders += dm.SeekCylinders
+		r.Disk.QueueWait += dm.QueueWait
+		r.Disk.Busy += dm.Busy
+	}
+	for _, b := range mc.buses {
+		r.BusBusy += b.Busy()
+	}
+	r.NetMsgs = mc.m.Net.Messages()
+	r.NetBytes = mc.m.Net.Bytes()
+	for _, n := range mc.m.IOPs {
+		r.IOPBusy += n.CPU.Busy()
+	}
+	for _, n := range mc.m.CPs {
+		r.CPBusy += n.CPU.Busy()
+	}
+	if st := mc.inj.Stats(); st != (fault.Stats{}) || r.TC.DiskRetries+r.DD.DiskRetries > 0 {
+		r.Faults = FaultTotals{
+			DiskErrors:  st.DiskErrors,
+			Retries:     r.TC.DiskRetries + r.DD.DiskRetries,
+			Recovered:   r.TC.DiskRecovered + r.DD.DiskRecovered,
+			Exhausted:   r.TC.DiskLost + r.DD.DiskLost,
+			DroppedMsgs: st.DroppedMsgs,
+			Resends:     st.Resends,
+			Spikes:      st.Spikes,
+		}
+	}
+}
+
+// collectTCFrom sums tcfs server counters into the result; shared by
+// the TC and two-phase cases (both run on tcfs servers).
+func collectTCFrom(servers []*tcfs.Server) func(r *Result) {
+	return func(r *Result) {
+		for _, s := range servers {
+			sm := s.Metrics()
+			r.TC.Requests += sm.Requests
+			r.TC.Reads += sm.Reads
+			r.TC.Writes += sm.Writes
+			r.TC.CacheHits += sm.CacheHits
+			r.TC.CacheMiss += sm.CacheMiss
+			r.TC.Prefetches += sm.Prefetches
+			r.TC.Flushes += sm.Flushes
+			r.TC.PartialRMW += sm.PartialRMW
+			r.TC.DiskRetries += sm.DiskRetries
+			r.TC.DiskRecovered += sm.DiskRecovered
+			r.TC.DiskLost += sm.DiskLost
+		}
+	}
+}
+
+// collectDDFrom sums disk-directed server counters into the result.
+func collectDDFrom(servers []*core.Server) func(r *Result) {
+	return func(r *Result) {
+		for _, s := range servers {
+			sm := s.Metrics()
+			r.DD.Requests += sm.Requests
+			r.DD.Blocks += sm.Blocks
+			r.DD.Memputs += sm.Memputs
+			r.DD.Memgets += sm.Memgets
+			r.DD.PartialBlockRMW += sm.PartialBlockRMW
+			r.DD.DiskRetries += sm.DiskRetries
+			r.DD.DiskRecovered += sm.DiskRecovered
+			r.DD.DiskLost += sm.DiskLost
+		}
+	}
+}
+
+// Run executes one experiment: the classic whole-file collective
+// transfer of cfg.Pattern, or — when cfg.Workload is enabled — the
+// declared workload's phases, under the selected method either way.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Workload.Enabled() {
+		return runWorkload(cfg)
 	}
 	pat, err := hpf.ParsePattern(cfg.Pattern)
 	if err != nil {
@@ -103,34 +240,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	eng := sim.NewEngine()
-	defer eng.Close()
-	eng.SetRecorder(cfg.Trace) // before machine build: components capture it
-	rng := sim.NewRand(cfg.Seed)
-	// The injector draws only from dedicated "fault-*" sub-streams, so a
-	// nil (or disabled) plan leaves the layout and jitter streams — and
-	// therefore the whole run — bit-identical to a faultless build.
-	inj := fault.NewInjector(cfg.Faults, rng, cfg.NDisks)
-	if pol := inj.Retry(); pol.Enabled() {
-		cfg.TC.Retry = pol // also covers the two-phase path (it runs on tcfs servers)
-		cfg.DD.Retry = pol
-	}
-	m := cluster.New(eng, cfg.Net, cfg.NCP, cfg.NIOP, rng)
-	m.InjectFaults(inj)
-
-	buses := make([]*bus.Bus, cfg.NIOP)
-	for i := range buses {
-		buses[i] = bus.New(eng, fmt.Sprintf("bus%d", i), cfg.BusBandwidth, cfg.BusOverhead)
-	}
-	disks := make([]*disk.Disk, cfg.NDisks)
-	for d := range disks {
-		disks[d] = disk.New(eng, fmt.Sprintf("d%d", d), cfg.Disk, buses[d%cfg.NIOP], cfg.DiskSched)
-		disks[d].SetFaults(inj.Disk(d))
-	}
-	f, err := pfs.NewFile(disks, cfg.BlockSize, cfg.NumBlocks(), cfg.Layout, rng)
+	mc, err := buildMachine(&cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer mc.Close()
+	eng, m, f := mc.eng, mc.m, mc.f
 
 	// Build the file system under test and the per-CP transfer bodies.
 	var runCP func(p *sim.Proc, cp int)
@@ -138,27 +253,6 @@ func Run(cfg Config) (*Result, error) {
 	var collectTC func(r *Result)
 	var collectDD func(r *Result)
 	memBytes := func(cp int) int64 { return dec.CPBytes(cp) }
-
-	// collectTCFrom sums tcfs server counters into the result; shared by
-	// the TC and two-phase cases (both run on tcfs servers).
-	collectTCFrom := func(servers []*tcfs.Server) func(r *Result) {
-		return func(r *Result) {
-			for _, s := range servers {
-				sm := s.Metrics()
-				r.TC.Requests += sm.Requests
-				r.TC.Reads += sm.Reads
-				r.TC.Writes += sm.Writes
-				r.TC.CacheHits += sm.CacheHits
-				r.TC.CacheMiss += sm.CacheMiss
-				r.TC.Prefetches += sm.Prefetches
-				r.TC.Flushes += sm.Flushes
-				r.TC.PartialRMW += sm.PartialRMW
-				r.TC.DiskRetries += sm.DiskRetries
-				r.TC.DiskRecovered += sm.DiskRecovered
-				r.TC.DiskLost += sm.DiskLost
-			}
-		}
-	}
 
 	switch cfg.Method {
 	case TraditionalCaching:
@@ -180,19 +274,7 @@ func Run(cfg Config) (*Result, error) {
 		client := core.NewClient(m, f, dec, servers, prm)
 		runCP = func(p *sim.Proc, cp int) { client.CollectiveCP(p, cp, pat.Write) }
 		endTime = client.EndTime
-		collectDD = func(r *Result) {
-			for _, s := range servers {
-				sm := s.Metrics()
-				r.DD.Requests += sm.Requests
-				r.DD.Blocks += sm.Blocks
-				r.DD.Memputs += sm.Memputs
-				r.DD.Memgets += sm.Memgets
-				r.DD.PartialBlockRMW += sm.PartialBlockRMW
-				r.DD.DiskRetries += sm.DiskRetries
-				r.DD.DiskRecovered += sm.DiskRecovered
-				r.DD.DiskLost += sm.DiskLost
-			}
-		}
+		collectDD = collectDDFrom(servers)
 	case TwoPhase:
 		servers := make([]*tcfs.Server, cfg.NIOP)
 		for i := range servers {
@@ -253,45 +335,13 @@ func Run(cfg Config) (*Result, error) {
 		r.VerifyErrors = verify(cfg, pat, dec, f, m)
 	}
 
-	for _, d := range disks {
-		dm := d.Metrics()
-		r.Disk.Reads += dm.Reads
-		r.Disk.Writes += dm.Writes
-		r.Disk.CacheHits += dm.CacheHits
-		r.Disk.CacheStream += dm.CacheStreams
-		r.Disk.Seeks += dm.SeekCount
-		r.Disk.SeekCylinders += dm.SeekCylinders
-		r.Disk.QueueWait += dm.QueueWait
-		r.Disk.Busy += dm.Busy
-	}
-	for _, b := range buses {
-		r.BusBusy += b.Busy()
-	}
-	r.NetMsgs = m.Net.Messages()
-	r.NetBytes = m.Net.Bytes()
-	for _, n := range m.IOPs {
-		r.IOPBusy += n.CPU.Busy()
-	}
-	for _, n := range m.CPs {
-		r.CPBusy += n.CPU.Busy()
-	}
 	if collectTC != nil {
 		collectTC(r)
 	}
 	if collectDD != nil {
 		collectDD(r)
 	}
-	if st := inj.Stats(); st != (fault.Stats{}) || r.TC.DiskRetries+r.DD.DiskRetries > 0 {
-		r.Faults = FaultTotals{
-			DiskErrors:  st.DiskErrors,
-			Retries:     r.TC.DiskRetries + r.DD.DiskRetries,
-			Recovered:   r.TC.DiskRecovered + r.DD.DiskRecovered,
-			Exhausted:   r.TC.DiskLost + r.DD.DiskLost,
-			DroppedMsgs: st.DroppedMsgs,
-			Resends:     st.Resends,
-			Spikes:      st.Spikes,
-		}
-	}
+	mc.collectSubstrate(r)
 	return r, nil
 }
 

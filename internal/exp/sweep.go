@@ -20,6 +20,7 @@ import (
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
 	"ddio/internal/stats"
+	"ddio/internal/workload"
 )
 
 // Axis names accepted by SweepSpec.Axis.
@@ -35,6 +36,11 @@ const (
 	AxisFaultPM    = "faultpm"    // transient disk-error rate, ‰ per request
 	AxisLossPM     = "losspm"     // interconnect message-loss rate, ‰ per traversal
 	AxisStragglers = "stragglers" // number of straggling disks
+
+	// AxisWLRate sweeps the open-arrival rate (requests/s) of the spec's
+	// Workload template — every poisson phase is re-rated to the axis
+	// value on a clone, so one spec charts throughput versus offered load.
+	AxisWLRate = "wlrate"
 )
 
 // axisInfo maps an axis name to its table row label, the config field it
@@ -65,6 +71,11 @@ var axisInfo = map[string]struct {
 		p := c.Faults.Clone()
 		p.Stragglers = v
 		c.Faults = p
+	}},
+	AxisWLRate: {"req-per-sec", 1, func(c *Config, v int) {
+		w := c.Workload.Clone()
+		w.SetOpenRate(float64(v))
+		c.Workload = w
 	}},
 }
 
@@ -126,6 +137,13 @@ type SweepSpec struct {
 	// intensity on a clone). nil keeps the sweep fault-free and its
 	// output byte-identical to before fault injection existed.
 	Faults *fault.Plan `json:"faults,omitempty"`
+
+	// Workload is the workload template: every cell runs its request
+	// streams instead of the classic whole-file transfer (the wlrate axis
+	// then overlays the swept arrival rate on a clone). nil keeps the
+	// sweep on whole-file collective transfers and its output
+	// byte-identical to before the workload layer existed.
+	Workload *workload.Spec `json:"workload,omitempty"`
 }
 
 // Validate checks internal consistency of the spec.
@@ -144,7 +162,7 @@ func (s *SweepSpec) Validate() error {
 	}
 	axis, ok := axisInfo[s.Axis]
 	if !ok {
-		return fmt.Errorf("exp: sweep %q: unknown axis %q (want cps, iops, disks, record, faultpm, losspm or stragglers)", s.Name, s.Axis)
+		return fmt.Errorf("exp: sweep %q: unknown axis %q (want cps, iops, disks, record, faultpm, losspm, stragglers or wlrate)", s.Name, s.Axis)
 	}
 	for _, v := range s.Values {
 		if v < axis.min {
@@ -164,6 +182,16 @@ func (s *SweepSpec) Validate() error {
 	}
 	if s.Axis == AxisStragglers && maxValue(s.Values) > 0 && (s.Faults == nil || s.Faults.StragglerSlowdown <= 1) {
 		return fmt.Errorf("exp: sweep %q: stragglers axis needs a faults template with straggler_slowdown > 1", s.Name)
+	}
+	if s.Workload != nil {
+		if err := s.Workload.Validate(nil); err != nil {
+			return fmt.Errorf("exp: sweep %q: %w", s.Name, err)
+		}
+	}
+	// The wlrate axis re-rates open-arrival phases; without one there is
+	// nothing to sweep.
+	if s.Axis == AxisWLRate && s.Workload.OpenPhases() == 0 {
+		return fmt.Errorf("exp: sweep %q: wlrate axis needs a workload template with a poisson-arrival phase", s.Name)
 	}
 	if _, err := pfs.ParseLayout(s.Layout); err != nil {
 		return fmt.Errorf("exp: sweep %q: %w", s.Name, err)
@@ -278,6 +306,9 @@ func (s *SweepSpec) Expand(o Options) (*Table, []Config, error) {
 				}
 				if s.Faults != nil {
 					cfg.Faults = s.Faults
+				}
+				if s.Workload != nil {
+					cfg.Workload = s.Workload
 				}
 				axis.apply(&cfg, v)
 				ceiling = cfg.MaxBandwidthMBps()

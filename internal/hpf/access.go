@@ -1,0 +1,29 @@
+package hpf
+
+// Access is the abstract file-access pattern the three file-system
+// methods consume: a per-CP chunk list (what a traditional client must
+// request piece by piece) and a file-range→runs view (what a
+// disk-directed IOP scatters or gathers per block). Decomp is the
+// matrix-decomposition implementation from the paper; the workload
+// layer provides request-stream implementations over the same contract.
+type Access interface {
+	// Chunks returns cp's contiguous file pieces in ascending file
+	// order, with their locations in cp's memory buffer.
+	Chunks(cp int) []Chunk
+	// RunsInRange returns the runs covering file range [off, off+n) in
+	// ascending file order.
+	RunsInRange(off, n int64) []Run
+	// CPBytes returns the size of cp's memory buffer in bytes.
+	CPBytes(cp int) int64
+	// Partial reports whether the pattern may leave whole file blocks
+	// untouched. A disk-directed IOP plans every local block for a
+	// full-file access; for a partial access it first filters its plan
+	// to blocks the pattern actually covers.
+	Partial() bool
+}
+
+// Partial reports false: a matrix decomposition always covers the whole
+// file, so disk-directed plans need no filtering.
+func (d *Decomp) Partial() bool { return false }
+
+var _ Access = (*Decomp)(nil)

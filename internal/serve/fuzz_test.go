@@ -26,6 +26,17 @@ var sweepSeeds = []string{
 		"straggler_slowdown":2,"msg_loss_rate":0.001,"spike_rate":0.01,"spike_latency_ns":1000000}}`,
 	`{"spec":{"name":"d","title":"d","axis":"faultpm","values":[0,5],"layout":"contiguous",
 		"methods":["ddio"],"patterns":["ra"],"faults":{"retry_limit":2}},"trials":1,"filemb":1}`,
+	`{"preset":"wl-smoke"}`,
+	`{"preset":"fig5-paper","workload":{"name":"w","phases":[{"pattern":"skew","requests":16,
+		"alpha":1.2,"read_fraction":0.8,"arrival":"poisson","rate_per_sec":500}]}}`,
+	`{"spec":{"name":"w","title":"w","axis":"wlrate","values":[100,200],"layout":"random-blocks",
+		"methods":["ddio"],"patterns":["rb"],"workload":{"phases":[{"pattern":"uniform",
+		"requests":8,"arrival":"poisson","rate_per_sec":100}]}},"trials":1,"filemb":1}`,
+	`{"preset":"fig5-paper","workload":{"phases":[{"pattern":"zipf","requests":4,"alpha":0.5}]}}`,
+	`{"preset":"fig5-paper","workload":{"phases":[{"pattern":"uniform"}]}}`,
+	`{"preset":"fig5-paper","workload":{"phases":[{"pattern":"uniform","requests":1,"bogus":1}]}}`,
+	`{"spec":{"name":"w","title":"w","axis":"wlrate","values":[100],"layout":"random-blocks",
+		"methods":["ddio"],"patterns":["rb"]}}`,
 	``,
 	`{`,
 	`{}`,
@@ -52,6 +63,13 @@ var runSeeds = []string{
 	`{"method":"ddio-sort","pattern":"rc","layout":"contiguous","cps":4,"iops":4,"disks":4,
 		"filemb":1,"record":8,"seed":7,"verify":false}`,
 	`{"method":"2phase","pattern":"wb","faults":{"disk_error_rate":0.01,"retry_limit":2}}`,
+	`{"method":"ddio-sort","pattern":"rb","cps":4,"iops":4,"disks":4,"filemb":1,
+		"workload":{"phases":[{"pattern":"hotspot","requests":8,"hot_fraction":0.1,"hot_weight":0.9}]}}`,
+	`{"method":"tc","pattern":"ra","workload":{"phases":[{"pattern":"trace",
+		"trace":[{"t_ns":0,"node":0,"op":"r","offset":0,"bytes":8192}]}]}}`,
+	`{"method":"tc","pattern":"ra","workload":{"phases":[{"pattern":"uniform","requests":-4}]}}`,
+	`{"method":"tc","pattern":"ra","workload":{"phases":[{"pattern":"trace","trace":[
+		{"t_ns":0,"node":0,"op":"x","offset":0,"bytes":8}]}]}}`,
 	``,
 	`{`,
 	`{}`,

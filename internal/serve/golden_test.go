@@ -10,6 +10,7 @@ package serve
 // the serving pipeline or the render formats fails this test.
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"testing"
@@ -30,6 +31,9 @@ func TestServedSweepsMatchFiguresArtifacts(t *testing.T) {
 		// fig5-paper at -trials 1 -filemb 1 keeps the paper figure's
 		// full grid while staying cheap.
 		{"fig5-paper", `{"preset":"fig5-paper","trials":1,"filemb":1}`, false},
+		// wl-smoke drives the workload layer (skewed open-arrival
+		// streams, swept over the wlrate axis) through the live handler.
+		{"wl-smoke", `{"preset":"wl-smoke"}`, false},
 	}
 
 	s := New(Config{QueueDepth: 4, Concurrency: 1})
@@ -105,5 +109,35 @@ func TestServedSweepsMatchFiguresArtifacts(t *testing.T) {
 	st := s.StatsSnapshot()
 	if st.Cache.Misses < st.CellsSimulated {
 		t.Fatalf("inconsistent counters: %+v", st)
+	}
+}
+
+// TestServedWorkloadRun drives one inline-workload run through the real
+// simulator via POST /v1/runs: the declared streams execute, verify
+// clean, and report positive throughput.
+func TestServedWorkloadRun(t *testing.T) {
+	s := New(Config{QueueDepth: 2, Concurrency: 1})
+	body := `{"method":"ddio-sort","pattern":"rb","cps":4,"iops":4,"disks":4,"filemb":1,
+		"workload":{"name":"w","phases":[{"pattern":"skew","requests":32,"alpha":1.2,
+		"read_fraction":0.8,"arrival":"poisson","rate_per_sec":1000}]}}`
+	rr := do(t, s, "POST", "/v1/runs", body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	var sum RunSummary
+	if err := json.Unmarshal(rr.Body.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.MBps <= 0 || sum.VerifyErrors != 0 {
+		t.Fatalf("workload run summary: %+v", sum)
+	}
+	// A run without the workload must occupy a different cache cell.
+	plain := do(t, s, "POST", "/v1/runs", `{"method":"ddio-sort","pattern":"rb","cps":4,"iops":4,"disks":4,"filemb":1}`)
+	var plainSum RunSummary
+	if err := json.Unmarshal(plain.Body.Bytes(), &plainSum); err != nil {
+		t.Fatal(err)
+	}
+	if plainSum.CellKey == sum.CellKey {
+		t.Fatal("workload and plain runs share a cell key")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"ddio/internal/fault"
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
+	"ddio/internal/workload"
 )
 
 // SweepRequest is the body of POST /v1/sweeps: the sweep to run — a
@@ -45,6 +46,10 @@ type SweepRequest struct {
 	// Faults is a fault plan applied to every run (-faults); a spec with
 	// its own Faults template takes precedence, mirroring the CLI.
 	Faults *fault.Plan `json:"faults,omitempty"`
+	// Workload is a request-stream spec applied to every run (-workload);
+	// a spec with its own Workload template takes precedence, mirroring
+	// the CLI.
+	Workload *workload.Spec `json:"workload,omitempty"`
 }
 
 // ParseSweepRequest parses and validates one POST /v1/sweeps body.
@@ -74,6 +79,9 @@ func ParseSweepRequest(data []byte) (*SweepRequest, error) {
 		}
 	}
 	if err := q.Faults.Validate(0); err != nil {
+		return nil, err
+	}
+	if err := q.Workload.Validate(nil); err != nil {
 		return nil, err
 	}
 	return &q, nil
@@ -106,6 +114,11 @@ type RunRequest struct {
 	Seed    *int64      `json:"seed,omitempty"`   // root seed (default 1)
 	Verify  *bool       `json:"verify,omitempty"` // end-to-end verification (default on)
 	Faults  *fault.Plan `json:"faults,omitempty"` // fault plan for this run
+
+	// Workload, when set, replaces the collective transfer with the
+	// spec's request streams (see internal/workload); Pattern then only
+	// labels the run.
+	Workload *workload.Spec `json:"workload,omitempty"`
 }
 
 // ParseRunRequest parses and validates one POST /v1/runs body.
@@ -169,6 +182,7 @@ func (q *RunRequest) Config() (exp.Config, error) {
 		cfg.Verify = *q.Verify
 	}
 	cfg.Faults = q.Faults
+	cfg.Workload = q.Workload
 	if err := cfg.Validate(); err != nil {
 		return cfg, err
 	}

@@ -199,6 +199,7 @@ func (s *Server) options(q *SweepRequest) exp.Options {
 		o.Verify = *q.Verify
 	}
 	o.Faults = q.Faults
+	o.Workload = q.Workload
 	return o
 }
 

@@ -1,6 +1,8 @@
 package tcfs
 
 import (
+	"time"
+
 	"ddio/internal/cluster"
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
@@ -14,7 +16,7 @@ import (
 type Client struct {
 	m       *cluster.Machine
 	f       *pfs.File
-	dec     *hpf.Decomp
+	dec     hpf.Access
 	prm     Params
 	servers []*Server // indexed by IOP
 
@@ -43,8 +45,8 @@ func (c *Client) memBaseOf(cp int) int64 {
 }
 
 // NewClient builds the client side for a transfer by all of the
-// machine's CPs.
-func NewClient(m *cluster.Machine, f *pfs.File, dec *hpf.Decomp, servers []*Server, prm Params) *Client {
+// machine's CPs. dec may be nil for a client used only via StreamCP.
+func NewClient(m *cluster.Machine, f *pfs.File, dec hpf.Access, servers []*Server, prm Params) *Client {
 	return &Client{
 		m:       m,
 		f:       f,
@@ -172,13 +174,62 @@ func (c *Client) TransferCP(p *sim.Proc, cp int, write bool) {
 		}
 	}
 	c.barrier.Wait(p)
-	if cp == 0 {
-		sdone := sim.NewWaitGroup(c.m.Eng, "tc-sync", len(c.servers))
-		for _, s := range c.servers {
-			c.m.Send(cpNode, s.node, 0, c.prm.RequestSendCPU, &syncReq{src: cpNode, done: sdone})
-		}
-		sdone.Wait(p)
-		c.end = p.Now()
+	c.sync(p, cp, cpNode)
+	c.barrier.Wait(p)
+}
+
+// sync has CP 0 flush every IOP so outstanding write-behind and prefetch
+// are included in the measured time, then stamps the end time.
+func (c *Client) sync(p *sim.Proc, cp int, cpNode *cluster.Node) {
+	if cp != 0 {
+		return
 	}
+	sdone := sim.NewWaitGroup(c.m.Eng, "tc-sync", len(c.servers))
+	for _, s := range c.servers {
+		c.m.Send(cpNode, s.node, 0, c.prm.RequestSendCPU, &syncReq{src: cpNode, done: sdone})
+	}
+	sdone.Wait(p)
+	c.end = p.Now()
+}
+
+// StreamReq is one request of a workload stream: a contiguous file range
+// read into (or written from) an absolute memory offset, optionally
+// released into the system at an absolute arrival time (open workload)
+// or after a think pause (closed loop).
+type StreamReq struct {
+	Write   bool
+	FileOff int64
+	Len     int64
+	MemOff  int64 // absolute offset in the CP's memory
+	// At, when positive, is the request's arrival offset from the
+	// phase's start: the CP does not issue it earlier (open arrivals).
+	At time.Duration
+	// Think, when positive, is slept before issuing (closed loop).
+	Think time.Duration
+}
+
+// StreamCP runs cp's side of a workload phase under traditional caching:
+// each request is split at block boundaries and issued with the same
+// one-outstanding-per-disk flow control TransferCP uses, honoring the
+// stream's arrival process. The final sync mirrors TransferCP so
+// write-behind and prefetch are inside the measured time.
+func (c *Client) StreamCP(p *sim.Proc, cp int, reqs []StreamReq) {
+	c.barrier.Wait(p)
+	cpNode := c.m.CPs[cp]
+	start := p.Now()
+	outstanding := make([]*sim.WaitGroup, len(c.f.Disks))
+	var buf []cpReq
+	for _, rq := range reqs {
+		if rq.Think > 0 {
+			p.Sleep(rq.Think)
+		}
+		if at := start + sim.Time(rq.At); rq.At > 0 && at > p.Now() {
+			p.SleepUntil(at)
+		}
+		buf = c.pieces(hpf.Chunk{FileOff: rq.FileOff, MemOff: rq.MemOff, Len: rq.Len}, 0, buf[:0])
+		c.issue(p, cpNode, buf, rq.Write, outstanding)
+	}
+	c.barrier.Wait(p)
+	c.sync(p, cp, cpNode)
 	c.barrier.Wait(p)
 }

@@ -52,13 +52,17 @@ func DefaultParams() Params {
 type Client struct {
 	m       *cluster.Machine
 	f       *pfs.File
-	target  *hpf.Decomp // the application's true distribution
-	conf    *hpf.Decomp // the conforming (1-D BLOCK) distribution
+	target  hpf.Access // the application's true distribution
+	conf    hpf.Access // the conforming (1-D BLOCK-like) distribution
 	prm     Params
 	tc      *tcfs.Client
 	barrier *sim.Barrier
 	perm    *sim.WaitGroup // permutation messages in flight
 	end     sim.Time
+	// absolute marks an access-built client (NewAccessClient): both
+	// distributions carry absolute memory offsets, so no per-CP base is
+	// added on either side.
+	absolute bool
 }
 
 // NewClient builds the two-phase client. servers are the traditional
@@ -87,6 +91,27 @@ func NewClient(m *cluster.Machine, f *pfs.File, target *hpf.Decomp,
 	}
 	c.tc.SetMemBase(base)
 	return c, nil
+}
+
+// NewAccessClient builds a two-phase client over arbitrary access
+// patterns (the workload layer's request streams): target is the
+// application's pattern, conf a conforming pattern covering the same
+// file ranges. Both must carry absolute memory offsets — the staging
+// layout is the caller's, so no per-CP base is applied.
+func NewAccessClient(m *cluster.Machine, f *pfs.File, target, conf hpf.Access,
+	servers []*tcfs.Server, tcPrm tcfs.Params, prm Params) *Client {
+	c := &Client{
+		m:        m,
+		f:        f,
+		target:   target,
+		conf:     conf,
+		prm:      prm,
+		barrier:  sim.NewBarrier(m.Eng, "2ph", len(m.CPs)),
+		perm:     sim.NewWaitGroup(m.Eng, "2ph-perm", 0),
+		absolute: true,
+	}
+	c.tc = tcfs.NewClient(m, f, conf, servers, tcPrm)
+	return c
 }
 
 // StagingBase returns the offset of cp's conforming staging area within
@@ -128,7 +153,7 @@ func (c *Client) TransferCP(p *sim.Proc, cp int, write bool) {
 // to its location under decomposition 'to'. Each CP walks the file
 // ranges it holds under 'from', batches the pieces per destination CP,
 // and ships them with gather messages; local pieces are memcpy'd.
-func (c *Client) permute(p *sim.Proc, cp int, from, to *hpf.Decomp) {
+func (c *Client) permute(p *sim.Proc, cp int, from, to hpf.Access) {
 	c.barrier.Wait(p)
 	cpNode := c.m.CPs[cp]
 	fromBase := c.baseFor(cp, from)
@@ -167,11 +192,12 @@ func (c *Client) permute(p *sim.Proc, cp int, from, to *hpf.Decomp) {
 	c.barrier.Wait(p)
 }
 
-// baseFor returns where decomposition d's buffer starts in cp's memory:
+// baseFor returns where distribution d's buffer starts in cp's memory:
 // the application distribution sits at 0, the conforming one at the
-// staging base.
-func (c *Client) baseFor(cp int, d *hpf.Decomp) int64 {
-	if d == c.conf {
+// staging base — unless the client was built over absolute-offset access
+// patterns, where both already address memory directly.
+func (c *Client) baseFor(cp int, d hpf.Access) int64 {
+	if !c.absolute && d == c.conf {
 		return c.StagingBase(cp)
 	}
 	return 0

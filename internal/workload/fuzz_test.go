@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse: arbitrary spec documents either parse into a validated
+// spec or fail with a typed *Error — never a panic, never an untyped
+// error.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"phases":[{"pattern":"uniform","requests":8}]}`))
+	f.Add([]byte(`{"name":"x","phases":[{"pattern":"zipf","requests":4,"alpha":1.5,"record_size":4096}]}`))
+	f.Add([]byte(`{"phases":[{"pattern":"skew","requests":96,"alpha":1.2,"read_fraction":0.8,"arrival":"poisson","rate_per_sec":2000}]}`))
+	f.Add([]byte(`{"phases":[{"pattern":"hotspot","requests":4,"hot_fraction":0.1,"hot_weight":0.9,"arrival":"closed","think_ns":1000}]}`))
+	f.Add([]byte(`{"phases":[{"pattern":"trace","trace":[{"t_ns":0,"node":0,"op":"r","offset":0,"bytes":8}]}]}`))
+	f.Add([]byte(`{"phases":[{"pattern":"rb"}]}`))
+	f.Add([]byte(`{"phases":[{"pattern":"uniform","requests":-1}]}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{}{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			var werr *Error
+			if !errors.As(err, &werr) {
+				t.Fatalf("Parse error %T is not *workload.Error: %v", err, err)
+			}
+			return
+		}
+		// A parsed spec re-validates cleanly and round-trips its clone.
+		if err := s.Validate(nil); err != nil {
+			t.Fatalf("parsed spec fails validation: %v", err)
+		}
+		if err := s.Clone().Validate(nil); err != nil {
+			t.Fatalf("cloned spec fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzParseTrace: arbitrary CSV either parses into a single validated
+// trace phase or fails with a typed *Error — never a panic.
+func FuzzParseTrace(f *testing.F) {
+	f.Add([]byte("time,node,op,offset,bytes\n0.001,0,r,0,8192\n"))
+	f.Add([]byte("# comment\n\n0.5,3,write,65536,4096\n"))
+	f.Add([]byte("0,0,r,0,8192\r\n0.1,1,w,8192,8192\r\n"))
+	f.Add([]byte("0,0,x,0,8192\n"))
+	f.Add([]byte("NaN,0,r,0,8\n"))
+	f.Add([]byte("1e99,0,r,0,8\n"))
+	f.Add([]byte("0,0,r,0,-8\n"))
+	f.Add([]byte("0,0,r\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseTrace(data)
+		if err != nil {
+			var werr *Error
+			if !errors.As(err, &werr) {
+				t.Fatalf("ParseTrace error %T is not *workload.Error: %v", err, err)
+			}
+			return
+		}
+		if len(s.Phases) != 1 || s.Phases[0].Pattern != PatternTrace {
+			t.Fatalf("trace parsed into %+v", s)
+		}
+		if len(s.Phases[0].Trace) == 0 {
+			t.Fatal("trace parsed with no requests")
+		}
+		if err := s.Validate(nil); err != nil {
+			t.Fatalf("parsed trace fails validation: %v", err)
+		}
+	})
+}

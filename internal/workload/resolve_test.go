@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ddio/internal/sim"
+)
+
+func testShape() Shape {
+	return Shape{NCP: 4, FileBytes: 1 << 20, BlockSize: 8192, RecordSize: 8192}
+}
+
+// TestResolveDeterministic: the resolved request streams — including
+// generated Poisson arrival times — are byte-identical for a fixed seed
+// and differ for a different seed.
+func TestResolveDeterministic(t *testing.T) {
+	frac := 0.7
+	s := &Spec{Phases: []Phase{
+		{Pattern: PatternSkew, Requests: 64, Alpha: 1.2, ReadFraction: &frac,
+			Arrival: "poisson", RatePerSec: 3000},
+		{Pattern: PatternZipf, Requests: 32, Alpha: 1.5,
+			RecordSizes: []int{2048, 4096}, Arrival: "closed", Think: 50 * time.Microsecond},
+	}}
+	enc := func(seed int64) []byte {
+		res, err := s.Resolve(testShape(), sim.NewRand(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, ph := range res.Phases {
+			if err := json.NewEncoder(&buf).Encode(ph.Streams); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	a, b := enc(1), enc(1)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed resolved to different streams")
+	}
+	if bytes.Equal(a, enc(2)) {
+		t.Fatal("different seed resolved to identical streams")
+	}
+}
+
+// TestResolveUsesDedicatedStreams: resolving a workload must not
+// consume draws from the root rng — layout and jitter streams stay
+// exactly as they are in a workload-free run.
+func TestResolveUsesDedicatedStreams(t *testing.T) {
+	s := &Spec{Phases: []Phase{{Pattern: PatternUniform, Requests: 100}}}
+	rng := sim.NewRand(42)
+	want := sim.NewRand(42).Int63()
+	if _, err := s.Resolve(testShape(), rng); err != nil {
+		t.Fatal(err)
+	}
+	if got := rng.Int63(); got != want {
+		t.Fatalf("Resolve consumed root rng draws: next = %d, want %d", got, want)
+	}
+}
+
+func TestResolveShapes(t *testing.T) {
+	frac := 0.5
+	s := &Spec{Phases: []Phase{
+		{Pattern: "rb"},
+		{Pattern: PatternUniform, Requests: 40, ReadFraction: &frac},
+		{Pattern: PatternTrace, Trace: []TraceReq{
+			{T: 2 * time.Millisecond, Node: 5, Op: "w", Off: 4096, Bytes: 1024},
+			{T: time.Millisecond, Node: 1, Op: "r", Off: 0, Bytes: 512},
+		}},
+	}}
+	shape := testShape()
+	res, err := s.Resolve(shape, sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("%d phases", len(res.Phases))
+	}
+	coll := res.Phases[0]
+	if !coll.Collective || coll.Dec == nil || coll.Write {
+		t.Fatalf("rb phase resolved wrong: %+v", coll)
+	}
+	if coll.Bytes != shape.FileBytes {
+		t.Errorf("rb bytes = %d, want %d", coll.Bytes, shape.FileBytes)
+	}
+	syn := res.Phases[1]
+	nreq := 0
+	for cp, reqs := range syn.Streams {
+		nreq += len(reqs)
+		var mem int64
+		for _, rq := range reqs {
+			if rq.MemOff != mem {
+				t.Fatalf("CP%d stream not memory-cumulative: %+v at %d", cp, rq, mem)
+			}
+			mem += rq.Len
+			if rq.FileOff < 0 || rq.FileOff+rq.Len > shape.FileBytes {
+				t.Fatalf("request beyond file: %+v", rq)
+			}
+		}
+	}
+	if nreq != 40 {
+		t.Errorf("synthetic requests = %d, want 40", nreq)
+	}
+	if syn.ReadAcc == nil || syn.WriteAcc == nil {
+		t.Error("mixed phase needs both read and write accesses")
+	}
+	if res.Reads+res.Writes != 42 || res.Writes < 1 {
+		t.Errorf("reads/writes = %d/%d", res.Reads, res.Writes)
+	}
+	tr := res.Phases[2]
+	// Node 5 maps onto CP 5 % 4 = 1, same as node 1; both requests land
+	// on CP1 in trace order (write first), and Delay is the CP's latest
+	// release time.
+	if got := len(tr.Streams[1]); got != 2 {
+		t.Fatalf("trace CP1 stream = %d requests, want 2", got)
+	}
+	if tr.Streams[1][0].At != 2*time.Millisecond || !tr.Streams[1][0].Write {
+		t.Errorf("trace request resolved wrong: %+v", tr.Streams[1][0])
+	}
+	if tr.Streams[1][1].MemOff != 1024 || tr.Streams[1][1].Write {
+		t.Errorf("trace memory not cumulative: %+v", tr.Streams[1][1])
+	}
+	if tr.Delay[1] != 2*time.Millisecond {
+		t.Errorf("trace CP1 delay = %v", tr.Delay[1])
+	}
+	if (&Spec{}).Enabled() {
+		t.Fatal("sanity")
+	}
+	if _, err := (&Spec{}).Resolve(shape, sim.NewRand(1)); err == nil {
+		t.Error("resolving a disabled spec must fail")
+	}
+}
+
+func TestSplitRequests(t *testing.T) {
+	even := splitRequests(&Phase{Pattern: PatternUniform, Requests: 10}, 4)
+	if want := []int{3, 3, 2, 2}; !equalInts(even, want) {
+		t.Errorf("even split = %v, want %v", even, want)
+	}
+	skew := splitRequests(&Phase{Pattern: PatternSkew, Requests: 100, Alpha: 1}, 4)
+	total := 0
+	for cp := range skew {
+		total += skew[cp]
+		if cp > 0 && skew[cp] > skew[cp-1] {
+			t.Errorf("skew split not monotone: %v", skew)
+		}
+	}
+	if total != 100 {
+		t.Errorf("skew split total = %d, want 100", total)
+	}
+	if skew[0] <= skew[3] {
+		t.Errorf("no skew: %v", skew)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseTrace parses a block-request trace in the simple CSV format
+//
+//	time,node,op,offset,bytes
+//
+// — time in (fractional) seconds from the trace start, node the issuing
+// compute node (mapped modulo the run's CPs), op "r" or "w", offset and
+// bytes the file range — into a single-phase replay spec. Blank lines
+// and '#' comments are skipped, and an optional header line (first
+// field "time") is tolerated. Malformed input returns a typed *Error,
+// never a panic.
+func ParseTrace(data []byte) (*Spec, error) {
+	var reqs []TraceReq
+	first := true
+	for ln, line := range strings.Split(string(data), "\n") {
+		field := "trace line " + strconv.Itoa(ln+1)
+		line = strings.TrimSpace(strings.TrimSuffix(line, "\r"))
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cols := strings.Split(line, ",")
+		if len(cols) != 5 {
+			return nil, errf(field, "want 5 fields time,node,op,offset,bytes, got %d", len(cols))
+		}
+		for i := range cols {
+			cols[i] = strings.TrimSpace(cols[i])
+		}
+		if first && strings.EqualFold(cols[0], "time") {
+			first = false
+			continue // header
+		}
+		first = false
+		sec, err := strconv.ParseFloat(cols[0], 64)
+		if err != nil || sec < 0 || sec != sec || sec > 1e9 {
+			return nil, errf(field, "bad time %q", cols[0])
+		}
+		node, err := strconv.Atoi(cols[1])
+		if err != nil || node < 0 {
+			return nil, errf(field, "bad node %q", cols[1])
+		}
+		op := strings.ToLower(cols[2])
+		switch op {
+		case "r", "read":
+			op = "r"
+		case "w", "write":
+			op = "w"
+		default:
+			return nil, errf(field, "bad op %q (want r or w)", cols[2])
+		}
+		off, err := strconv.ParseInt(cols[3], 10, 64)
+		if err != nil || off < 0 {
+			return nil, errf(field, "bad offset %q", cols[3])
+		}
+		n, err := strconv.ParseInt(cols[4], 10, 64)
+		if err != nil || n <= 0 {
+			return nil, errf(field, "bad byte count %q", cols[4])
+		}
+		reqs = append(reqs, TraceReq{
+			T:     time.Duration(sec * float64(time.Second)),
+			Node:  node,
+			Op:    op,
+			Off:   off,
+			Bytes: n,
+		})
+	}
+	if len(reqs) == 0 {
+		return nil, errf("trace", "no requests")
+	}
+	s := &Spec{Name: "trace", Phases: []Phase{{Pattern: PatternTrace, Trace: reqs}}}
+	if err := s.Validate(nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadTrace reads and parses a CSV block trace from path (see
+// ParseTrace for the format).
+func LoadTrace(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, errf("trace", "reading %q: %v", path, err)
+	}
+	s, err := ParseTrace(data)
+	if err != nil {
+		return nil, err
+	}
+	if base := strings.TrimSuffix(path[strings.LastIndexByte(path, '/')+1:], ".csv"); base != "" {
+		s.Name = base
+	}
+	return s, nil
+}

@@ -1,0 +1,445 @@
+// Package workload is the simulator's scenario layer: a declarative JSON
+// DSL for per-CP request streams — the paper's collective matrix
+// patterns plus skewed, hotspot, and Zipf-distributed synthetic streams
+// with configurable record-size distributions, read/write mixes, and
+// arrival processes (closed-loop think time or open Poisson) — and a
+// block-trace replay frontend (LoadTrace) that parses simple CSV traces
+// into the same resolved representation.
+//
+// The package follows internal/fault's nil-safe contract: a nil (or
+// phase-less) *Spec is disabled, and a run without a workload performs
+// exactly the same random draws and fires exactly the same events as a
+// build without this package — all workload randomness comes from
+// dedicated "wl:*" sub-streams of the run seed (see Resolve).
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ddio/internal/hpf"
+)
+
+// Synthetic pattern names (Phase.Pattern also accepts the paper's
+// collective shorthand, e.g. "ra" or "wcb", and "trace" for embedded
+// trace phases).
+const (
+	// PatternUniform draws record indices uniformly over the file.
+	PatternUniform = "uniform"
+	// PatternSkew draws uniformly but skews the per-CP request counts:
+	// CP i issues a share proportional to 1/(i+1)^alpha.
+	PatternSkew = "skew"
+	// PatternHotspot sends HotWeight of the requests into the first
+	// HotFraction of the file, the rest uniformly over the remainder.
+	PatternHotspot = "hotspot"
+	// PatternZipf draws record indices from a Zipf distribution with
+	// exponent Alpha (> 1), rank 0 being the file's first record.
+	PatternZipf = "zipf"
+	// PatternTrace replays the phase's embedded Trace entries.
+	PatternTrace = "trace"
+)
+
+// Error is the typed validation error every workload entry point
+// returns for malformed input: which field, and why. Parse and the
+// trace reader never panic on malformed input.
+type Error struct {
+	Field  string // the offending spec field, e.g. "phases[1].alpha"
+	Reason string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return "workload: " + e.Field + ": " + e.Reason }
+
+func errf(field, format string, args ...any) *Error {
+	return &Error{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Spec declares a workload: a named sequence of phases separated by
+// barriers. The zero value (and a nil *Spec) is disabled: runs fall
+// back to the classic whole-file collective transfer.
+type Spec struct {
+	// Name labels the workload in tables and summaries.
+	Name string `json:"name,omitempty"`
+	// Phases run in order, with a full barrier between consecutive
+	// phases (each phase's transfer is itself collective).
+	Phases []Phase `json:"phases,omitempty"`
+}
+
+// Phase is one barrier-separated stage of a workload.
+type Phase struct {
+	// Pattern selects the access pattern: a synthetic name ("uniform",
+	// "skew", "hotspot", "zipf"), "trace" for an embedded trace, or the
+	// paper's collective shorthand ("ra", "rb", ..., "wcb") for a
+	// whole-file matrix transfer.
+	Pattern string `json:"pattern"`
+
+	// Requests is the total request count of a synthetic phase, split
+	// over the CPs (evenly, except under "skew").
+	Requests int `json:"requests,omitempty"`
+	// RecordSize fixes the request size in bytes; zero means the
+	// run's configured record size. Collective phases may also set it
+	// to override the decomposition's record size.
+	RecordSize int `json:"record_size,omitempty"`
+	// RecordSizes, when non-empty, draws each request's size uniformly
+	// from this set instead (synthetic phases only).
+	RecordSizes []int `json:"record_sizes,omitempty"`
+	// ReadFraction is the probability a request is a read; nil means
+	// 1 (all reads). Synthetic phases only.
+	ReadFraction *float64 `json:"read_fraction,omitempty"`
+
+	// Alpha is the skew exponent: Zipf exponent for "zipf" (must
+	// exceed 1), per-CP load-imbalance exponent for "skew" (zero means
+	// 1).
+	Alpha float64 `json:"alpha,omitempty"`
+	// HotFraction/HotWeight shape "hotspot": HotWeight of the requests
+	// target the first HotFraction of the file. Both in (0, 1).
+	HotFraction float64 `json:"hot_fraction,omitempty"`
+	HotWeight   float64 `json:"hot_weight,omitempty"`
+
+	// Arrival selects the arrival process of a synthetic phase: ""
+	// issues requests back to back (batch), "closed" sleeps an
+	// exponential think time of mean Think before each request, and
+	// "poisson" releases requests as an open Poisson process of
+	// RatePerSec per CP.
+	Arrival string `json:"arrival,omitempty"`
+	// Think is the mean think time of a "closed" phase.
+	Think time.Duration `json:"think_ns,omitempty"`
+	// RatePerSec is the per-CP arrival rate of a "poisson" phase.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+
+	// Trace holds the embedded requests of a "trace" phase, as parsed
+	// by LoadTrace.
+	Trace []TraceReq `json:"trace,omitempty"`
+}
+
+// TraceReq is one replayed trace record: at time T, node issues an Op
+// ("r" or "w") of Bytes bytes at file offset Off. Nodes are mapped onto
+// the run's CPs modulo NCP at resolve time.
+type TraceReq struct {
+	T     time.Duration `json:"t_ns"`
+	Node  int           `json:"node"`
+	Op    string        `json:"op"`
+	Off   int64         `json:"offset"`
+	Bytes int64         `json:"bytes"`
+}
+
+// Enabled reports whether the spec declares any work. A nil or
+// phase-less spec is disabled: runs behave bit-identically to builds
+// without the workload layer.
+func (s *Spec) Enabled() bool { return s != nil && len(s.Phases) > 0 }
+
+// Clone returns a deep copy (nil-safe; cloning nil yields a zero spec).
+// Sweep axes clone before mutating so cells never share state.
+func (s *Spec) Clone() *Spec {
+	c := new(Spec)
+	if s == nil {
+		return c
+	}
+	c.Name = s.Name
+	if s.Phases != nil {
+		c.Phases = make([]Phase, len(s.Phases))
+		for i, p := range s.Phases {
+			q := p
+			if p.RecordSizes != nil {
+				q.RecordSizes = append([]int(nil), p.RecordSizes...)
+			}
+			if p.ReadFraction != nil {
+				v := *p.ReadFraction
+				q.ReadFraction = &v
+			}
+			if p.Trace != nil {
+				q.Trace = append([]TraceReq(nil), p.Trace...)
+			}
+			c.Phases[i] = q
+		}
+	}
+	return c
+}
+
+// SetOpenRate sets the arrival rate of every open ("poisson") phase —
+// the knob the wlrate sweep axis turns.
+func (s *Spec) SetOpenRate(ratePerSec float64) {
+	if s == nil {
+		return
+	}
+	for i := range s.Phases {
+		if s.Phases[i].Arrival == "poisson" {
+			s.Phases[i].RatePerSec = ratePerSec
+		}
+	}
+}
+
+// OpenPhases reports how many phases use open (Poisson) arrivals.
+func (s *Spec) OpenPhases() int {
+	n := 0
+	if s != nil {
+		for _, p := range s.Phases {
+			if p.Arrival == "poisson" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// kind classifies a phase's pattern.
+type patternKind int
+
+const (
+	kindSynthetic patternKind = iota
+	kindTrace
+	kindCollective
+)
+
+func (p *Phase) kind() (patternKind, error) {
+	switch p.Pattern {
+	case PatternUniform, PatternSkew, PatternHotspot, PatternZipf:
+		return kindSynthetic, nil
+	case PatternTrace:
+		return kindTrace, nil
+	}
+	if _, err := hpf.ParsePattern(p.Pattern); err == nil {
+		return kindCollective, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q", p.Pattern)
+}
+
+// Shape is the run geometry a spec is resolved against. Validate takes
+// a nil *Shape for shape-independent checks (sweep templates, parse
+// time); Resolve re-validates against the concrete shape.
+type Shape struct {
+	NCP        int   // compute processors issuing requests
+	FileBytes  int64 // file size
+	BlockSize  int   // file-system block size
+	RecordSize int   // default request size when a phase sets none
+}
+
+// Validate checks the spec's internal consistency, and — when shape is
+// non-nil — its fit to the run geometry. All failures are typed
+// (*Error), nil-safe on a nil spec.
+func (s *Spec) Validate(shape *Shape) error {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Phases {
+		if err := s.Phases[i].validate(fmt.Sprintf("phases[%d]", i), shape); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Phase) validate(field string, shape *Shape) error {
+	kind, err := p.kind()
+	if err != nil {
+		return errf(field+".pattern", "%v", err)
+	}
+	if p.RecordSize < 0 {
+		return errf(field+".record_size", "negative size %d", p.RecordSize)
+	}
+	if kind != kindSynthetic {
+		// The synthetic knobs are meaningless on collective and trace
+		// phases; reject them so typos fail loudly.
+		switch {
+		case p.Requests != 0:
+			return errf(field+".requests", "not valid for pattern %q", p.Pattern)
+		case len(p.RecordSizes) != 0:
+			return errf(field+".record_sizes", "not valid for pattern %q", p.Pattern)
+		case p.ReadFraction != nil:
+			return errf(field+".read_fraction", "not valid for pattern %q", p.Pattern)
+		case p.Alpha != 0 || p.HotFraction != 0 || p.HotWeight != 0:
+			return errf(field+".alpha", "skew knobs not valid for pattern %q", p.Pattern)
+		case p.Arrival != "" || p.Think != 0 || p.RatePerSec != 0:
+			return errf(field+".arrival", "arrival process not valid for pattern %q", p.Pattern)
+		}
+	}
+	switch kind {
+	case kindCollective:
+		if len(p.Trace) != 0 {
+			return errf(field+".trace", "not valid for pattern %q", p.Pattern)
+		}
+		if shape != nil {
+			rec := p.RecordSize
+			if rec == 0 {
+				rec = shape.RecordSize
+			}
+			pat, _ := hpf.ParsePattern(p.Pattern)
+			if _, err := pat.Decomp(shape.FileBytes, rec, shape.NCP); err != nil {
+				return errf(field+".pattern", "%v", err)
+			}
+		}
+	case kindTrace:
+		if len(p.Trace) == 0 {
+			return errf(field+".trace", "trace phase has no requests")
+		}
+		for j, r := range p.Trace {
+			tf := fmt.Sprintf("%s.trace[%d]", field, j)
+			switch {
+			case r.T < 0:
+				return errf(tf, "negative time %v", r.T)
+			case r.Node < 0:
+				return errf(tf, "negative node %d", r.Node)
+			case r.Op != "r" && r.Op != "w":
+				return errf(tf, "op %q must be \"r\" or \"w\"", r.Op)
+			case r.Off < 0 || r.Bytes <= 0:
+				return errf(tf, "bad range [%d, +%d)", r.Off, r.Bytes)
+			}
+			if shape != nil && r.Off+r.Bytes > shape.FileBytes {
+				return errf(tf, "range [%d, +%d) beyond file of %d bytes", r.Off, r.Bytes, shape.FileBytes)
+			}
+		}
+	case kindSynthetic:
+		if p.Requests < 1 {
+			return errf(field+".requests", "synthetic phase needs at least one request, got %d", p.Requests)
+		}
+		if len(p.Trace) != 0 {
+			return errf(field+".trace", "not valid for pattern %q", p.Pattern)
+		}
+		if p.RecordSize != 0 && len(p.RecordSizes) != 0 {
+			return errf(field+".record_sizes", "set record_size or record_sizes, not both")
+		}
+		for j, sz := range p.RecordSizes {
+			if sz < 1 {
+				return errf(fmt.Sprintf("%s.record_sizes[%d]", field, j), "size %d < 1", sz)
+			}
+		}
+		if p.ReadFraction != nil && (*p.ReadFraction < 0 || *p.ReadFraction > 1) {
+			return errf(field+".read_fraction", "%v outside [0, 1]", *p.ReadFraction)
+		}
+		switch p.Pattern {
+		case PatternZipf:
+			if p.Alpha <= 1 {
+				return errf(field+".alpha", "zipf exponent %v must exceed 1", p.Alpha)
+			}
+		case PatternSkew:
+			if p.Alpha < 0 {
+				return errf(field+".alpha", "negative skew exponent %v", p.Alpha)
+			}
+		default:
+			if p.Alpha != 0 {
+				return errf(field+".alpha", "not valid for pattern %q", p.Pattern)
+			}
+		}
+		if p.Pattern == PatternHotspot {
+			if p.HotFraction <= 0 || p.HotFraction >= 1 {
+				return errf(field+".hot_fraction", "%v outside (0, 1)", p.HotFraction)
+			}
+			if p.HotWeight <= 0 || p.HotWeight >= 1 {
+				return errf(field+".hot_weight", "%v outside (0, 1)", p.HotWeight)
+			}
+		} else if p.HotFraction != 0 || p.HotWeight != 0 {
+			return errf(field+".hot_fraction", "not valid for pattern %q", p.Pattern)
+		}
+		switch p.Arrival {
+		case "":
+			if p.Think != 0 {
+				return errf(field+".think_ns", "think time needs arrival \"closed\"")
+			}
+			if p.RatePerSec != 0 {
+				return errf(field+".rate_per_sec", "arrival rate needs arrival \"poisson\"")
+			}
+		case "closed":
+			if p.Think <= 0 {
+				return errf(field+".think_ns", "closed loop needs a positive think time")
+			}
+			if p.RatePerSec != 0 {
+				return errf(field+".rate_per_sec", "arrival rate not valid for a closed loop")
+			}
+		case "poisson":
+			if p.RatePerSec <= 0 {
+				return errf(field+".rate_per_sec", "open arrivals need a positive rate")
+			}
+			if p.Think != 0 {
+				return errf(field+".think_ns", "think time not valid for open arrivals")
+			}
+		default:
+			return errf(field+".arrival", "unknown arrival process %q", p.Arrival)
+		}
+		if shape != nil {
+			sizes := p.RecordSizes
+			if len(sizes) == 0 {
+				sz := p.RecordSize
+				if sz == 0 {
+					sz = shape.RecordSize
+				}
+				sizes = []int{sz}
+			}
+			for _, sz := range sizes {
+				if int64(sz) > shape.FileBytes {
+					return errf(field+".record_size", "request size %d exceeds file of %d bytes", sz, shape.FileBytes)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Summary renders the spec compactly for table headers and logs.
+func (s *Spec) Summary() string {
+	if !s.Enabled() {
+		return "whole-file"
+	}
+	parts := make([]string, 0, len(s.Phases))
+	for _, p := range s.Phases {
+		switch kind, _ := p.kind(); kind {
+		case kindTrace:
+			parts = append(parts, fmt.Sprintf("trace×%d", len(p.Trace)))
+		case kindCollective:
+			parts = append(parts, p.Pattern)
+		default:
+			d := fmt.Sprintf("%s×%d", p.Pattern, p.Requests)
+			switch p.Arrival {
+			case "closed":
+				d += fmt.Sprintf(" closed/%v", p.Think)
+			case "poisson":
+				d += fmt.Sprintf(" open@%g/s", p.RatePerSec)
+			}
+			parts = append(parts, d)
+		}
+	}
+	name := s.Name
+	if name == "" {
+		name = "workload"
+	}
+	return name + ": " + strings.Join(parts, "; ")
+}
+
+// Parse parses a JSON workload spec. Unknown fields are rejected so
+// typos in hand-written specs fail loudly, and the parsed spec is
+// validated shape-independently (the run geometry re-validates it).
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, errf("spec", "parsing: %v", err)
+	}
+	if dec.More() {
+		return nil, errf("spec", "trailing data after spec")
+	}
+	if err := s.Validate(nil); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ResolveSpec turns a -workload flag argument into a spec: inline JSON
+// (first non-space byte '{'), a path to a .csv block trace, or a path
+// to a JSON spec file.
+func ResolveSpec(arg string) (*Spec, error) {
+	if strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		return Parse([]byte(arg))
+	}
+	if strings.HasSuffix(arg, ".csv") {
+		return LoadTrace(arg)
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, errf("spec", "%q is neither inline JSON nor a readable spec file: %v", arg, err)
+	}
+	return Parse(data)
+}

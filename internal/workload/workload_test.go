@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// genSpec generates a random valid spec: 1–4 phases drawn over every
+// pattern kind with every knob exercised. All slices are nil-or-filled
+// (never empty non-nil) so JSON omitempty round-trips losslessly.
+func genSpec(r *rand.Rand) *Spec {
+	s := &Spec{Name: "gen"}
+	for i, n := 0, 1+r.Intn(4); i < n; i++ {
+		var p Phase
+		switch r.Intn(6) {
+		case 0:
+			p.Pattern = PatternUniform
+		case 1:
+			p.Pattern = PatternSkew
+			p.Alpha = r.Float64() * 2
+		case 2:
+			p.Pattern = PatternHotspot
+			p.HotFraction = 0.05 + 0.9*r.Float64()
+			p.HotWeight = 0.05 + 0.9*r.Float64()
+		case 3:
+			p.Pattern = PatternZipf
+			p.Alpha = 1.01 + r.Float64()
+		case 4:
+			p.Pattern = []string{"ra", "rb", "rc", "wb"}[r.Intn(4)]
+		case 5:
+			p.Pattern = PatternTrace
+			for j, m := 0, 1+r.Intn(5); j < m; j++ {
+				p.Trace = append(p.Trace, TraceReq{
+					T:     time.Duration(r.Intn(1e6)),
+					Node:  r.Intn(8),
+					Op:    []string{"r", "w"}[r.Intn(2)],
+					Off:   int64(r.Intn(1 << 20)),
+					Bytes: int64(1 + r.Intn(8192)),
+				})
+			}
+		}
+		kind, err := p.kind()
+		if err != nil {
+			panic(err)
+		}
+		if kind == kindSynthetic {
+			p.Requests = 1 + r.Intn(200)
+			if r.Intn(2) == 0 {
+				f := r.Float64()
+				p.ReadFraction = &f
+			}
+			switch r.Intn(3) {
+			case 0:
+				p.RecordSize = 1 + r.Intn(16384)
+			case 1:
+				for j, m := 0, 1+r.Intn(3); j < m; j++ {
+					p.RecordSizes = append(p.RecordSizes, 1+r.Intn(16384))
+				}
+			}
+			switch r.Intn(3) {
+			case 1:
+				p.Arrival = "closed"
+				p.Think = time.Duration(1 + r.Intn(1e6))
+			case 2:
+				p.Arrival = "poisson"
+				p.RatePerSec = 1 + 5000*r.Float64()
+			}
+		} else if kind == kindCollective && r.Intn(2) == 0 {
+			p.RecordSize = 1 + r.Intn(16384)
+		}
+		s.Phases = append(s.Phases, p)
+	}
+	return s
+}
+
+// TestSpecRoundTrip: 150 randomized specs survive JSON marshal → Parse
+// losslessly, and survive a field-reordering rewrite (decode to maps,
+// re-encode with alphabetized keys) identically — field order in spec
+// documents never matters.
+func TestSpecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 150; i++ {
+		s := genSpec(r)
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Parse(data)
+		if err != nil {
+			t.Fatalf("spec %d: %v\n%s", i, err, data)
+		}
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("spec %d: round trip diverged\nwant %+v\ngot  %+v", i, s, got)
+		}
+		// Reorder every object's fields (map keys re-encode sorted,
+		// struct fields encode in declaration order — different orders).
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		reordered, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := Parse(reordered)
+		if err != nil {
+			t.Fatalf("spec %d reordered: %v\n%s", i, err, reordered)
+		}
+		if !reflect.DeepEqual(s, got2) {
+			t.Fatalf("spec %d: field order changed the parse\nwant %+v\ngot  %+v", i, s, got2)
+		}
+	}
+}
+
+func TestSpecEnabledAndClone(t *testing.T) {
+	var nilSpec *Spec
+	if nilSpec.Enabled() || (&Spec{}).Enabled() {
+		t.Error("nil or empty spec reported enabled")
+	}
+	if got := nilSpec.Clone(); got == nil || got.Enabled() {
+		t.Errorf("nil clone = %+v", got)
+	}
+	r := rand.New(rand.NewSource(3))
+	s := genSpec(r)
+	c := s.Clone()
+	if !reflect.DeepEqual(s, c) {
+		t.Fatalf("clone diverged: %+v vs %+v", s, c)
+	}
+	// Deep: mutating the clone's slices and pointers leaves the original.
+	for i := range c.Phases {
+		if c.Phases[i].ReadFraction != nil {
+			*c.Phases[i].ReadFraction = -1
+		}
+		if len(c.Phases[i].RecordSizes) > 0 {
+			c.Phases[i].RecordSizes[0] = -1
+		}
+		if len(c.Phases[i].Trace) > 0 {
+			c.Phases[i].Trace[0].Bytes = -1
+		}
+	}
+	if err := s.Validate(nil); err != nil {
+		t.Errorf("mutating clone corrupted original: %v", err)
+	}
+}
+
+func TestSetOpenRate(t *testing.T) {
+	var nilSpec *Spec
+	nilSpec.SetOpenRate(10) // must not panic
+	if nilSpec.OpenPhases() != 0 {
+		t.Error("nil spec has open phases")
+	}
+	s := &Spec{Phases: []Phase{
+		{Pattern: PatternUniform, Requests: 4, Arrival: "poisson", RatePerSec: 1},
+		{Pattern: PatternUniform, Requests: 4},
+		{Pattern: PatternZipf, Alpha: 1.5, Requests: 4, Arrival: "poisson", RatePerSec: 2},
+	}}
+	if s.OpenPhases() != 2 {
+		t.Fatalf("OpenPhases = %d, want 2", s.OpenPhases())
+	}
+	s.SetOpenRate(750)
+	if s.Phases[0].RatePerSec != 750 || s.Phases[2].RatePerSec != 750 {
+		t.Errorf("open rates not set: %v / %v", s.Phases[0].RatePerSec, s.Phases[2].RatePerSec)
+	}
+	if s.Phases[1].RatePerSec != 0 {
+		t.Errorf("batch phase got a rate: %v", s.Phases[1].RatePerSec)
+	}
+}
+
+// TestValidateRejects pins one typed error per class of malformed spec.
+func TestValidateRejects(t *testing.T) {
+	frac := func(f float64) *float64 { return &f }
+	shape := &Shape{NCP: 4, FileBytes: 1 << 20, BlockSize: 8192, RecordSize: 8192}
+	cases := []struct {
+		name  string
+		phase Phase
+		field string // expected Error.Field suffix
+	}{
+		{"unknown pattern", Phase{Pattern: "bogus"}, ".pattern"},
+		{"zero requests", Phase{Pattern: PatternUniform}, ".requests"},
+		{"zipf alpha too small", Phase{Pattern: PatternZipf, Requests: 1, Alpha: 1}, ".alpha"},
+		{"negative skew alpha", Phase{Pattern: PatternSkew, Requests: 1, Alpha: -1}, ".alpha"},
+		{"alpha on uniform", Phase{Pattern: PatternUniform, Requests: 1, Alpha: 2}, ".alpha"},
+		{"hot fraction out of range", Phase{Pattern: PatternHotspot, Requests: 1, HotFraction: 1, HotWeight: 0.5}, ".hot_fraction"},
+		{"hot weight out of range", Phase{Pattern: PatternHotspot, Requests: 1, HotFraction: 0.5, HotWeight: 0}, ".hot_weight"},
+		{"hot knobs on uniform", Phase{Pattern: PatternUniform, Requests: 1, HotFraction: 0.5}, ".hot_fraction"},
+		{"read fraction out of range", Phase{Pattern: PatternUniform, Requests: 1, ReadFraction: frac(1.5)}, ".read_fraction"},
+		{"both record sizes", Phase{Pattern: PatternUniform, Requests: 1, RecordSize: 8, RecordSizes: []int{8}}, ".record_sizes"},
+		{"bad record size", Phase{Pattern: PatternUniform, Requests: 1, RecordSizes: []int{0}}, ".record_sizes[0]"},
+		{"unknown arrival", Phase{Pattern: PatternUniform, Requests: 1, Arrival: "batchy"}, ".arrival"},
+		{"think without closed", Phase{Pattern: PatternUniform, Requests: 1, Think: 1}, ".think_ns"},
+		{"rate without poisson", Phase{Pattern: PatternUniform, Requests: 1, RatePerSec: 1}, ".rate_per_sec"},
+		{"closed without think", Phase{Pattern: PatternUniform, Requests: 1, Arrival: "closed"}, ".think_ns"},
+		{"poisson without rate", Phase{Pattern: PatternUniform, Requests: 1, Arrival: "poisson"}, ".rate_per_sec"},
+		{"requests on collective", Phase{Pattern: "ra", Requests: 4}, ".requests"},
+		{"arrival on trace", Phase{Pattern: PatternTrace, Arrival: "closed", Think: 1,
+			Trace: []TraceReq{{Op: "r", Bytes: 8}}}, ".arrival"},
+		{"empty trace", Phase{Pattern: PatternTrace}, ".trace"},
+		{"bad trace op", Phase{Pattern: PatternTrace, Trace: []TraceReq{{Op: "x", Bytes: 8}}}, ".trace[0]"},
+		{"record beyond file", Phase{Pattern: PatternUniform, Requests: 1, RecordSize: 2 << 20}, ".record_size"},
+		{"trace beyond file", Phase{Pattern: PatternTrace, Trace: []TraceReq{{Op: "r", Off: 1 << 20, Bytes: 8}}}, ".trace[0]"},
+	}
+	for _, tc := range cases {
+		s := &Spec{Phases: []Phase{tc.phase}}
+		err := s.Validate(shape)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var werr *Error
+		if !errors.As(err, &werr) {
+			t.Errorf("%s: error %T is not *workload.Error", tc.name, err)
+			continue
+		}
+		if !strings.HasSuffix(werr.Field, tc.field) {
+			t.Errorf("%s: error field %q, want suffix %q", tc.name, werr.Field, tc.field)
+		}
+	}
+	if err := (*Spec)(nil).Validate(shape); err != nil {
+		t.Errorf("nil spec failed validation: %v", err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	if got := (*Spec)(nil).Summary(); got != "whole-file" {
+		t.Errorf("nil summary = %q", got)
+	}
+	s := &Spec{Name: "mix", Phases: []Phase{
+		{Pattern: "rb"},
+		{Pattern: PatternSkew, Requests: 96, Arrival: "poisson", RatePerSec: 2000},
+		{Pattern: PatternTrace, Trace: []TraceReq{{Op: "r", Bytes: 8}}},
+	}}
+	got := s.Summary()
+	for _, want := range []string{"mix:", "rb", "skew×96", "open@2000/s", "trace×1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary %q missing %q", got, want)
+		}
+	}
+}
+
+func TestResolveSpecArgs(t *testing.T) {
+	inline := `{"phases":[{"pattern":"uniform","requests":8}]}`
+	s, err := ResolveSpec(inline)
+	if err != nil || len(s.Phases) != 1 {
+		t.Fatalf("inline: %v %+v", err, s)
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "w.json")
+	if err := os.WriteFile(specPath, []byte(inline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s, err = ResolveSpec(specPath); err != nil || len(s.Phases) != 1 {
+		t.Fatalf("file: %v %+v", err, s)
+	}
+	if s, err = ResolveSpec("testdata/sample.csv"); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if s.Name != "sample" || len(s.Phases) != 1 || len(s.Phases[0].Trace) == 0 {
+		t.Fatalf("csv spec %+v", s)
+	}
+	if _, err = ResolveSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
