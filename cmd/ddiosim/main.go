@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ddio/internal/exp"
@@ -58,7 +60,39 @@ func main() {
 	flag.IntVar(&cfg.DD.BuffersPerDisk, "buffers", cfg.DD.BuffersPerDisk, "disk-directed buffers per disk")
 	flag.BoolVar(&cfg.TC.StridedRequests, "strided", false, "strided traditional-caching requests (paper future work)")
 	noDiskCache := flag.Bool("nodiskcache", false, "disable the drive's read-ahead/write-behind cache")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	// Profiles are written on normal completion (including the -sweep
+	// early return); a fatal() exit abandons them — profiling a failed
+	// run is not useful.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			closeOut(f, *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so live-object numbers are stable
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+			closeOut(f, *memProfile)
+		}()
+	}
 
 	var plan *fault.Plan
 	if *faultsArg != "" {

@@ -87,13 +87,13 @@ func TestSendDeliversToMailboxAndChargesCPU(t *testing.T) {
 	}
 }
 
-func TestSendFnRunsAtDelivery(t *testing.T) {
+func TestSendCRunsAtDelivery(t *testing.T) {
 	e, m := newMachine(t, 2, 2)
 	var at sim.Time
-	m.SendFn(m.CPs[0], m.CPs[1], 64, 0, func(ts sim.Time) { at = ts })
+	m.SendC(m.CPs[0], m.CPs[1], 64, 0, sim.Callback(func(ts sim.Time) { at = ts }))
 	e.Run()
 	if at == 0 {
-		t.Fatal("SendFn callback never ran")
+		t.Fatal("SendC completion never fired")
 	}
 }
 
@@ -104,8 +104,8 @@ func TestMemputLandsDataAndSignals(t *testing.T) {
 	data := []byte{1, 2, 3, 4}
 	var sentAt, doneAt sim.Time
 	m.Memput(m.IOPs[0], dst, 8, data, time.Microsecond,
-		func(ts sim.Time) { sentAt = ts },
-		func(td sim.Time) { doneAt = td })
+		sim.Callback(func(ts sim.Time) { sentAt = ts }),
+		sim.Callback(func(td sim.Time) { doneAt = td }))
 	// Mutate the source buffer after the call: the Memput must have
 	// snapshotted it.
 	data[0] = 99
@@ -122,10 +122,14 @@ func TestMemgetFetchesRemoteData(t *testing.T) {
 	e, m := newMachine(t, 2, 2)
 	src := m.CPs[0]
 	src.Mem = []byte{10, 20, 30, 40, 50}
-	var got []byte
-	m.Memget(m.IOPs[0], src, 1, 3, time.Microsecond, time.Microsecond,
-		func(data []byte, _ sim.Time) { got = data })
+	got := make([]byte, 3)
+	var doneAt sim.Time
+	m.Memget(m.IOPs[0], src, 1, got, time.Microsecond, time.Microsecond,
+		sim.Callback(func(ts sim.Time) { doneAt = ts }))
 	e.Run()
+	if doneAt == 0 {
+		t.Fatal("Memget done completion never fired")
+	}
 	if !bytes.Equal(got, []byte{20, 30, 40}) {
 		t.Fatalf("got %v", got)
 	}
@@ -144,8 +148,8 @@ func TestMemputGatherScattersSegments(t *testing.T) {
 		{Off: 30, Data: []byte{4}},
 	}
 	delivered := false
-	m.MemputGather(m.IOPs[0], dst, segs, time.Microsecond, nil,
-		func(sim.Time) { delivered = true })
+	m.MemputGather(m.IOPs[0], dst, segs, time.Microsecond, sim.Completion{},
+		sim.Callback(func(sim.Time) { delivered = true }))
 	e.Run()
 	if !delivered {
 		t.Fatal("gather Memput not delivered")
@@ -159,14 +163,63 @@ func TestMemgetGatherReturnsPiecesInOrder(t *testing.T) {
 	e, m := newMachine(t, 2, 2)
 	src := m.CPs[0]
 	src.Mem = []byte{0, 1, 2, 3, 4, 5, 6, 7}
-	var got [][]byte
+	p0, p1 := make([]byte, 2), make([]byte, 3)
+	fired := false
 	m.MemgetGather(m.IOPs[0], src,
-		[]GetSeg{{Off: 6, Len: 2}, {Off: 0, Len: 3}},
+		[]GetSeg{{Off: 6, Len: 2, Dst: p0}, {Off: 0, Len: 3, Dst: p1}},
 		time.Microsecond, time.Microsecond,
-		func(pieces [][]byte, _ sim.Time) { got = pieces })
+		sim.Callback(func(sim.Time) { fired = true }))
 	e.Run()
-	if len(got) != 2 || !bytes.Equal(got[0], []byte{6, 7}) || !bytes.Equal(got[1], []byte{0, 1, 2}) {
-		t.Fatalf("pieces %v", got)
+	if !fired || !bytes.Equal(p0, []byte{6, 7}) || !bytes.Equal(p1, []byte{0, 1, 2}) {
+		t.Fatalf("pieces %v %v (fired %v)", p0, p1, fired)
+	}
+}
+
+// TestSendCRoundTripAllocFree pins the tentpole's alloc contract at the
+// cluster layer: a warm request/reply round trip — SendC out, SendC
+// back, both signaling a pooled WaitGroup — allocates nothing.
+func TestSendCRoundTripAllocFree(t *testing.T) {
+	e, m := newMachine(t, 2, 2)
+	cp, iop := m.CPs[0], m.IOPs[0]
+	wg := sim.NewWaitGroup(e, "rt", 0)
+	done := wg.DoneC()
+	roundTrip := func() {
+		wg.Add(2)
+		m.SendC(cp, iop, 64, time.Microsecond, done)  // request
+		m.SendC(iop, cp, 128, time.Microsecond, done) // reply
+		e.Run()
+	}
+	for i := 0; i < 8; i++ { // warm op arena, message arena, pipes, queue
+		roundTrip()
+	}
+	avg := testing.AllocsPerRun(200, roundTrip)
+	if avg > 0 {
+		t.Errorf("warm SendC round trip allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestMemputMemgetAllocFree extends the guard to the DMA path: warm
+// Memput and Memget with completion tokens must not allocate.
+func TestMemputMemgetAllocFree(t *testing.T) {
+	e, m := newMachine(t, 2, 2)
+	cp, iop := m.CPs[0], m.IOPs[0]
+	cp.Mem = make([]byte, 256)
+	src := make([]byte, 64)
+	dst := make([]byte, 64)
+	wg := sim.NewWaitGroup(e, "dma", 0)
+	done := wg.DoneC()
+	op := func() {
+		wg.Add(2)
+		m.Memput(iop, cp, 0, src, time.Microsecond, sim.Completion{}, done)
+		m.Memget(iop, cp, 64, dst, time.Microsecond, time.Microsecond, done)
+		e.Run()
+	}
+	for i := 0; i < 8; i++ {
+		op()
+	}
+	avg := testing.AllocsPerRun(200, op)
+	if avg > 0 {
+		t.Errorf("warm Memput+Memget allocates %.2f objects/op, want 0", avg)
 	}
 }
 
@@ -174,7 +227,8 @@ func TestGatherIsOneMessageEachWay(t *testing.T) {
 	e, m := newMachine(t, 2, 2)
 	dst := m.CPs[1]
 	dst.Mem = make([]byte, 16)
-	m.MemputGather(m.IOPs[0], dst, []MemSeg{{0, []byte{1}}, {8, []byte{2}}}, 0, nil, nil)
+	m.MemputGather(m.IOPs[0], dst, []MemSeg{{0, []byte{1}}, {8, []byte{2}}}, 0,
+		sim.Completion{}, sim.Completion{})
 	e.Run()
 	if m.Net.Messages() != 1 {
 		t.Fatalf("gather Memput used %d messages, want 1", m.Net.Messages())

@@ -34,8 +34,7 @@ func (s *Server) memputGather(w *sim.Proc, b int, data []byte, runs []hpf.Run, d
 		sent.Add(1)
 		cpu := s.prm.MemputCPU + s.prm.GatherSegmentCPU*time.Duration(len(segs)-1)
 		s.m.MemputGather(s.node, s.m.CPs[g[0].CP], segs, cpu,
-			func(sim.Time) { sent.Done() },
-			func(sim.Time) { delivered.Done() })
+			sent.DoneC(), delivered.DoneC())
 	}
 	sent.Wait(w)
 }
@@ -47,22 +46,15 @@ func (s *Server) memgetGather(w *sim.Proc, b int, buf []byte, runs []hpf.Run, ar
 	blockOff := int64(b) * bs
 	for _, g := range groupRunsByCP(runs) {
 		segs := make([]cluster.GetSeg, len(g))
-		offsets := make([]int64, len(g))
 		for i, r := range g {
-			segs[i] = cluster.GetSeg{Off: r.MemOff, Len: r.Len}
-			offsets[i] = r.FileOff - blockOff
+			off := r.FileOff - blockOff
+			segs[i] = cluster.GetSeg{Off: r.MemOff, Len: r.Len, Dst: buf[off : off+r.Len]}
 		}
 		s.m2.Memgets++
 		arrived.Add(1)
-		g := g
 		cpu := s.prm.MemgetCPU + s.prm.GatherSegmentCPU*time.Duration(len(segs)-1)
 		s.m.MemgetGather(s.node, s.m.CPs[g[0].CP], segs, cpu, s.prm.MemgetRemoteCPU,
-			func(pieces [][]byte, _ sim.Time) {
-				for i, piece := range pieces {
-					copy(buf[offsets[i]:offsets[i]+int64(len(piece))], piece)
-				}
-				arrived.Done()
-			})
+			arrived.DoneC())
 	}
 	arrived.Wait(w)
 }

@@ -157,9 +157,7 @@ func (s *Server) serve(p *sim.Proc, req *collReq) {
 	}
 	delivered.Wait(p)
 	s.rec.RequestEnd(s.traceName, reqID, int64(reqStart), int64(p.Now()))
-	s.m.SendFn(s.node, req.src, 0, s.prm.RequestCPU, func(sim.Time) {
-		req.done.Done()
-	})
+	s.m.SendC(s.node, req.src, 0, s.prm.RequestCPU, req.done.DoneC())
 }
 
 // diskRead is ReadSync with the server's bounded-retry policy: a
@@ -249,8 +247,7 @@ func (s *Server) readLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec hpf.Acc
 			sent.Add(1)
 			piece := data[r.FileOff-int64(b)*bs : r.FileOff-int64(b)*bs+r.Len]
 			s.m.Memput(s.node, s.m.CPs[r.CP], int(r.MemOff), piece, s.prm.MemputCPU,
-				func(sim.Time) { sent.Done() },
-				func(sim.Time) { delivered.Done() })
+				sent.DoneC(), delivered.DoneC())
 		}
 		// The buffer is reusable once the NIC has drained it.
 		sent.Wait(w)
@@ -271,28 +268,17 @@ func (s *Server) writeLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec hpf.Ac
 		// Scratch block from the disk's free list; only run-covered bytes
 		// are ever read out of it, so no clearing is needed.
 		buf := dd.Buffer(s.f.BlockSize)
-		covered := int64(0)
+		covered := coveredBytes(runs)
 		arrived := sim.NewWaitGroup(s.m.Eng, "dd-arrived", 0)
-		fetch := func(r hpf.Run) {
-			s.m2.Memgets++
-			arrived.Add(1)
-			dst := buf[r.FileOff-int64(b)*bs : r.FileOff-int64(b)*bs+r.Len]
-			s.m.Memget(s.node, s.m.CPs[r.CP], int(r.MemOff), int(r.Len),
-				s.prm.MemgetCPU, s.prm.MemgetRemoteCPU,
-				func(data []byte, _ sim.Time) {
-					copy(dst, data)
-					arrived.Done()
-				})
-		}
 		if s.prm.GatherScatter {
 			s.memgetGather(w, b, buf, runs, arrived)
-			for _, r := range runs {
-				covered += r.Len
-			}
 		} else {
 			for _, r := range runs {
-				covered += r.Len
-				fetch(r)
+				s.m2.Memgets++
+				arrived.Add(1)
+				dst := buf[r.FileOff-int64(b)*bs : r.FileOff-int64(b)*bs+r.Len]
+				s.m.Memget(s.node, s.m.CPs[r.CP], int(r.MemOff), dst,
+					s.prm.MemgetCPU, s.prm.MemgetRemoteCPU, arrived.DoneC())
 			}
 		}
 		arrived.Wait(w)
@@ -318,4 +304,27 @@ func (s *Server) writeLoop(w *sim.Proc, dd *disk.Disk, it *blockIter, dec hpf.Ac
 		// Durability is awaited via disk.Flush in serve; 'delivered' is
 		// only tracked for reads.
 	}
+}
+
+// coveredBytes returns the number of distinct bytes the runs cover.
+// Workload request streams may carry overlapping slots, so each byte
+// must be counted once: summing run lengths would overstate coverage and
+// let a partial block skip its read-modify-write, writing stale scratch
+// bytes over file data the pattern never touched. Runs arrive sorted by
+// FileOff (the RunsInRange contract), so a single interval-merge pass
+// suffices.
+func coveredBytes(runs []hpf.Run) int64 {
+	var covered int64
+	var lo, hi int64
+	for i, r := range runs {
+		if i == 0 || r.FileOff > hi {
+			covered += hi - lo
+			lo, hi = r.FileOff, r.FileOff+r.Len
+			continue
+		}
+		if end := r.FileOff + r.Len; end > hi {
+			hi = end
+		}
+	}
+	return covered + (hi - lo)
 }

@@ -52,6 +52,8 @@ type Network struct {
 	rec    *trace.Recorder  // event tracing, nil when disabled
 	faults *fault.NetFaults // fault injection, nil when disabled
 
+	msgArena sim.Arena[message] // in-flight message records
+
 	msgs  int64
 	bytes int64
 }
@@ -130,57 +132,109 @@ func wrapDist(a, b, n int) int {
 // MaxHops returns the torus diameter.
 func (n *Network) MaxHops() int { return n.cfg.Width/2 + n.cfg.Height/2 }
 
+// message is one in-flight transmission, pooled on the network's arena.
+// It is the completion target for its own fabric events: the head-flit
+// arrival (msgHead) and, under fault injection, its retransmissions
+// (msgResend) — a dropped message re-enqueues the same record instead of
+// capturing its state in a retry closure. The record is released back to
+// the arena when the head flit commits the destination NIC; deliver (a
+// token, copied by value into the inEnd event) is the only thing that
+// outlives it. gen is bumped at release so any token queued against a
+// previous incarnation drops as a no-op.
+type message struct {
+	n        *Network
+	gen      uint64
+	a, b     int
+	wire     int
+	outStart sim.Time
+	outEnd   sim.Time
+	deliver  sim.Completion
+}
+
+// Message token kinds.
+const (
+	msgHead   uint8 = iota + 1 // head flit arrives at the destination NIC
+	msgResend                  // resend timeout expired; retransmit
+)
+
+func (m *message) token(kind uint8) sim.Completion {
+	return sim.Completion{Target: m, Gen: m.gen, Kind: kind}
+}
+
+// Complete dispatches one fabric event for this message.
+func (m *message) Complete(c sim.Completion, now sim.Time) {
+	if c.Gen != m.gen {
+		return
+	}
+	n := m.n
+	switch c.Kind {
+	case msgHead:
+		// Wormhole pipelining: the destination NIC streams the body
+		// concurrently with the source NIC, finishing at inEnd.
+		_, inEnd := n.nics[m.b].in.Reserve(m.wire)
+		n.eng.AtCompletion(inEnd, m.deliver)
+		m.release()
+	case msgResend:
+		m.outStart, m.outEnd = n.nics[m.a].out.Reserve(m.wire)
+		n.faults.CountResend()
+		n.transmit(m)
+	}
+}
+
+// release returns the record to the arena, invalidating queued tokens.
+func (m *message) release() {
+	m.gen++
+	m.deliver = sim.Completion{}
+	m.n.msgArena.Put(m)
+}
+
 // Send transmits size payload bytes from node a to node b. onSent, if
-// non-nil, fires when the source NIC finishes (the sender's buffer is
-// reusable); deliver, if non-nil, fires when the last byte arrives at b.
-// Both callbacks run in event context. Send may be called from proc or
-// event context and never blocks the caller.
-func (n *Network) Send(a, b, size int, onSent, deliver func(t sim.Time)) {
+// valid, fires when the source NIC finishes (the sender's buffer is
+// reusable); deliver, if valid, fires when the last byte arrives at b.
+// Both are completion tokens fired in event context; the zero Completion
+// means "no callback". Send may be called from proc or event context,
+// never blocks the caller, and allocates nothing on a warm network.
+func (n *Network) Send(a, b, size int, onSent, deliver sim.Completion) {
 	n.msgs++
 	n.bytes += int64(size)
 	n.rec.NetMsg(n.nics[a].name, n.nics[b].name, int64(n.eng.Now()), int64(size))
 	wire := size + n.cfg.HeaderBytes
 	outStart, outEnd := n.nics[a].out.Reserve(wire)
-	if onSent != nil {
-		n.eng.At(outEnd, func() { onSent(outEnd) })
+	if onSent.Valid() {
+		n.eng.AtCompletion(outEnd, onSent)
 	}
-	n.transmit(a, b, wire, outStart, outEnd, deliver)
+	m := n.msgArena.Get()
+	m.n = n
+	m.a, m.b, m.wire = a, b, wire
+	m.outStart, m.outEnd = outStart, outEnd
+	m.deliver = deliver
+	n.transmit(m)
 }
 
 // transmit models one fabric traversal of a message already committed to
-// a's out NIC over [outStart, outEnd]. Under fault injection the
-// traversal may suffer a latency spike or be dropped entirely; a drop
-// retransmits after the resend timeout, re-occupying the source NIC for
-// the full message (the retransmission redraws its own fault fate, so a
-// message can be dropped repeatedly — each loss costs another timeout).
-func (n *Network) transmit(a, b, wire int, outStart, outEnd sim.Time, deliver func(t sim.Time)) {
-	lat := sim.Time(n.cfg.RouterDelay) * sim.Time(n.Hops(a, b))
+// its source's out NIC over [outStart, outEnd]. Under fault injection
+// the traversal may suffer a latency spike or be dropped entirely; a
+// drop retransmits after the resend timeout, re-occupying the source NIC
+// for the full message (the retransmission redraws its own fault fate,
+// so a message can be dropped repeatedly — each loss costs another
+// timeout).
+func (n *Network) transmit(m *message) {
+	lat := sim.Time(n.cfg.RouterDelay) * sim.Time(n.Hops(m.a, m.b))
 	if n.cfg.JitterMax > 0 {
 		lat += sim.Time(n.rng.Int63n(int64(n.cfg.JitterMax)))
 	}
 	if spike := n.faults.Spike(); spike > 0 {
-		n.rec.Fault(n.nics[a].name, int64(n.eng.Now()), "net-spike")
+		n.rec.Fault(n.nics[m.a].name, int64(n.eng.Now()), "net-spike")
 		lat += sim.Time(spike)
 	}
 	if n.faults.DropMsg() {
-		n.rec.Fault(n.nics[a].name, int64(n.eng.Now()), "msg-drop")
-		n.eng.At(outEnd.Add(n.faults.ResendTimeout()), func() {
-			s, e := n.nics[a].out.Reserve(wire)
-			n.faults.CountResend()
-			n.transmit(a, b, wire, s, e, deliver)
-		})
+		n.rec.Fault(n.nics[m.a].name, int64(n.eng.Now()), "msg-drop")
+		n.eng.AtCompletion(m.outEnd.Add(n.faults.ResendTimeout()), m.token(msgResend))
 		return
 	}
-	// Wormhole pipelining: the head flit reaches b's NIC lat after it
-	// left a's; the destination NIC then streams the body concurrently
-	// with the source NIC.
-	headArrive := outStart + lat
-	n.eng.At(headArrive, func() {
-		_, inEnd := n.nics[b].in.Reserve(wire)
-		if deliver != nil {
-			n.eng.At(inEnd, func() { deliver(inEnd) })
-		}
-	})
+	// The head flit reaches the destination lat after it left the source.
+	headArrive := m.outStart + lat
+	n.eng.AtCompletion(headArrive, m.token(msgHead))
 }
 
 // Messages returns the number of messages sent.

@@ -64,7 +64,7 @@ func TestGridGrowsForManyNodes(t *testing.T) {
 func TestSendDeliversWithWireLatency(t *testing.T) {
 	e, n := newNet(t, 36)
 	var sentAt, gotAt sim.Time
-	n.Send(0, 1, 1000, func(ts sim.Time) { sentAt = ts }, func(td sim.Time) { gotAt = td })
+	n.Send(0, 1, 1000, sim.Callback(func(ts sim.Time) { sentAt = ts }), sim.Callback(func(td sim.Time) { gotAt = td }))
 	e.Run()
 	cfg := n.Config()
 	perByte := time.Duration(float64(time.Second) / cfg.LinkBandwidth)
@@ -87,8 +87,8 @@ func TestSendDeliversWithWireLatency(t *testing.T) {
 func TestSourceNICSerializesSends(t *testing.T) {
 	e, n := newNet(t, 36)
 	var first, second sim.Time
-	n.Send(0, 1, 100000, nil, func(ts sim.Time) { first = ts })
-	n.Send(0, 2, 100000, nil, func(ts sim.Time) { second = ts })
+	n.Send(0, 1, 100000, sim.Completion{}, sim.Callback(func(ts sim.Time) { first = ts }))
+	n.Send(0, 2, 100000, sim.Completion{}, sim.Callback(func(ts sim.Time) { second = ts }))
 	e.Run()
 	if second <= first {
 		t.Fatalf("two sends from one node completed at %v/%v; out-NIC must serialize", first, second)
@@ -101,8 +101,8 @@ func TestSourceNICSerializesSends(t *testing.T) {
 func TestDestNICSerializesReceives(t *testing.T) {
 	e, n := newNet(t, 36)
 	var a, b sim.Time
-	n.Send(1, 0, 100000, nil, func(ts sim.Time) { a = ts })
-	n.Send(2, 0, 100000, nil, func(ts sim.Time) { b = ts })
+	n.Send(1, 0, 100000, sim.Completion{}, sim.Callback(func(ts sim.Time) { a = ts }))
+	n.Send(2, 0, 100000, sim.Completion{}, sim.Callback(func(ts sim.Time) { b = ts }))
 	e.Run()
 	if a == b {
 		t.Fatal("two receives at one node completed simultaneously; in-NIC must serialize")
@@ -112,7 +112,7 @@ func TestDestNICSerializesReceives(t *testing.T) {
 func TestSelfSendWorks(t *testing.T) {
 	e, n := newNet(t, 36)
 	ok := false
-	n.Send(3, 3, 10, nil, func(sim.Time) { ok = true })
+	n.Send(3, 3, 10, sim.Completion{}, sim.Callback(func(sim.Time) { ok = true }))
 	e.Run()
 	if !ok {
 		t.Fatal("self-send never delivered")
@@ -126,7 +126,7 @@ func TestJitterIsSeededDeterministic(t *testing.T) {
 		cfg := DefaultConfig() // jitter on
 		n := New(e, cfg, 4, sim.NewRand(77))
 		var at sim.Time
-		n.Send(0, 1, 100, nil, func(td sim.Time) { at = td })
+		n.Send(0, 1, 100, sim.Completion{}, sim.Callback(func(td sim.Time) { at = td }))
 		e.Run()
 		return at
 	}
@@ -135,9 +135,32 @@ func TestJitterIsSeededDeterministic(t *testing.T) {
 	}
 }
 
+// TestSendAllocFree is the allocation guard the token refactor exists
+// for: on a warm network, a full Send with both completion tokens —
+// onSent and deliver — must not allocate. The tokens are WaitGroup
+// completions, the dominant real call shape (cluster signals
+// sent/delivered WaitGroups).
+func TestSendAllocFree(t *testing.T) {
+	e, n := newNet(t, 36)
+	wg := sim.NewWaitGroup(e, "send", 0)
+	done := wg.DoneC()
+	send := func() {
+		wg.Add(2)
+		n.Send(0, 1, 1000, done, done)
+		e.Run()
+	}
+	for i := 0; i < 8; i++ { // warm the arena, pipes, and event queue
+		send()
+	}
+	avg := testing.AllocsPerRun(200, send)
+	if avg > 0 {
+		t.Errorf("warm Send allocates %.2f objects/op, want 0", avg)
+	}
+}
+
 func TestNICUtilizationDiagnostic(t *testing.T) {
 	e, n := newNet(t, 4)
-	n.Send(0, 1, 1<<20, nil, nil)
+	n.Send(0, 1, 1<<20, sim.Completion{}, sim.Completion{})
 	e.Run()
 	if u := n.NICUtilization(e.Now()); u <= 0 {
 		t.Fatalf("NIC utilization %v", u)

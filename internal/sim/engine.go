@@ -46,20 +46,26 @@ func (t Time) Add(d time.Duration) Time {
 // String formats t as a duration since time zero (e.g. "1.5ms").
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a single scheduled callback or proc-dispatch token.
+// event is a single scheduled callback, proc-dispatch token, or
+// completion token.
 //
-// A callback event carries fn. A dispatch token instead carries (p, gen):
-// when it fires, p is dispatched only if its generation still matches,
-// so a token left queued past its incarnation's death — the proc may
-// already be recycled into an unrelated incarnation — is dropped
-// harmlessly. Tokens need no closure, which is what lets sleeps, wakes,
-// and spawns run allocation-free.
+// A callback event carries fn. A proc dispatch token instead carries
+// (p, gen): when it fires, p is dispatched only if its generation still
+// matches, so a token left queued past its incarnation's death — the
+// proc may already be recycled into an unrelated incarnation — is
+// dropped harmlessly. A completion token carries (tgt, gen, kind, arg)
+// and fires tgt.Complete; pooled targets use gen the same way procs do
+// (see completion.go). Tokens need no closure, which is what lets
+// sleeps, wakes, spawns, and message completions run allocation-free.
 type event struct {
-	t   Time
-	seq int64 // FIFO tie-break for events at the same instant
-	fn  func()
-	p   *Proc  // non-nil: dispatch token for p...
-	gen uint64 // ...valid only while p.gen still equals this
+	t    Time
+	seq  int64 // FIFO tie-break for events at the same instant
+	fn   func()
+	p    *Proc            // non-nil: dispatch token for p...
+	gen  uint64           // ...valid while p.gen (or the target's gen) equals this
+	tgt  CompletionTarget // non-nil: completion token
+	kind uint8
+	arg  int64
 }
 
 // Engine is a discrete-event simulator instance.
@@ -241,6 +247,12 @@ func (e *Engine) loop(owner *Proc) tokenState {
 			if ev.gen == ev.p.gen {
 				e.dispatch(ev.p)
 			}
+		} else if ev.tgt != nil {
+			// Completion token. Staleness is the target's concern: a
+			// pooled target checks ev.gen against its current
+			// incarnation inside Complete (the engine cannot, since
+			// target generations live in the target).
+			ev.tgt.Complete(Completion{Target: ev.tgt, Gen: ev.gen, Kind: ev.kind, Arg: ev.arg}, ev.t)
 		} else {
 			ev.fn()
 		}

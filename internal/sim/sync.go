@@ -138,6 +138,16 @@ func (w *WaitGroup) Add(delta int) {
 // Done decrements the counter by one.
 func (w *WaitGroup) Done() { w.Add(-1) }
 
+// Complete implements CompletionTarget: a fired token decrements the
+// counter by one, so "signal this WaitGroup when the message lands" is
+// a token instead of a boxed wg.Done closure. WaitGroups are never
+// recycled under outstanding tokens (Reset panics while in use), so Gen
+// is ignored.
+func (w *WaitGroup) Complete(Completion, Time) { w.Done() }
+
+// DoneC returns the completion token equivalent of Done.
+func (w *WaitGroup) DoneC() Completion { return Completion{Target: w} }
+
 // Reset re-arms a drained WaitGroup with a fresh count so callers can
 // pool per-request WaitGroups instead of allocating one per operation.
 // Resetting while the counter is nonzero or waiters are parked panics:

@@ -25,10 +25,13 @@ type Client struct {
 	memBase []int64 // optional per-CP offset added to all memory addresses
 
 	// wgfree pools the per-request reply-tracking WaitGroups (one per
-	// block piece — the top allocation source on message-heavy runs).
-	// The engine is single-threaded, so a plain LIFO list is safe and
-	// reuse order is deterministic.
+	// block piece — formerly the top allocation source on message-heavy
+	// runs). The engine is single-threaded, so a plain LIFO list is safe
+	// and reuse order is deterministic.
 	wgfree []*sim.WaitGroup
+	// reqs pools the request records themselves; each is released back
+	// here by its reply's terminal completion (see request.release).
+	reqs sim.Arena[request]
 }
 
 // SetMemBase offsets every CP's memory addresses by base[cp]; two-phase
@@ -78,6 +81,16 @@ func (c *Client) getWG() *sim.WaitGroup {
 // Wait returned, so no Done event or waiter can still reference it.
 func (c *Client) putWG(wg *sim.WaitGroup) { c.wgfree = append(c.wgfree, wg) }
 
+// getReq takes a pooled request record, stamping this client as owner.
+func (c *Client) getReq() *request {
+	r := c.reqs.Get()
+	r.owner = c
+	return r
+}
+
+// putReq recycles a released request record.
+func (c *Client) putReq(r *request) { c.reqs.Put(r) }
+
 // cpReq is one block-piece request to be issued.
 type cpReq struct {
 	block  int
@@ -120,19 +133,17 @@ func (c *Client) issue(p *sim.Proc, cpNode *cluster.Node, pieces []cpReq, write 
 		}
 		done := c.getWG()
 		outstanding[rq.disk] = done
-		msg := &request{
-			write:  write,
-			block:  rq.block,
-			off:    rq.off,
-			n:      rq.n,
-			memOff: rq.memOff,
-			src:    cpNode,
-			done:   done,
-		}
+		msg := c.getReq()
+		msg.write = write
+		msg.block = rq.block
+		msg.off = rq.off
+		msg.n = rq.n
+		msg.memOff = rq.memOff
+		msg.src = cpNode
+		msg.done = done
 		payload := 0
 		if write {
-			msg.data = make([]byte, rq.n)
-			copy(msg.data, cpNode.Mem[msg.memOff:msg.memOff+int64(rq.n)])
+			msg.data = append(msg.data[:0], cpNode.Mem[msg.memOff:msg.memOff+int64(rq.n)]...)
 			payload = rq.n
 		}
 		c.m.Send(cpNode, c.servers[rq.disk%len(c.servers)].node, payload, c.prm.RequestSendCPU, msg)

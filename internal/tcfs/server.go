@@ -11,16 +11,66 @@ import (
 	"ddio/internal/trace"
 )
 
-// request is one CP→IOP file-system call for a piece of a single block.
+// request is one CP→IOP file-system call for a piece of a single block,
+// pooled on the issuing Client (owner) and reused LIFO. The record is
+// also the completion target for its own reply: the server stamps srv
+// and schedules a reqReadLand/reqWriteAck token as the reply message's
+// delivery completion, and the record is released back to its owner at
+// that terminal stage — after which gen has been bumped, so any stale
+// token drops as a no-op.
 type request struct {
-	write  bool
-	block  int
-	off    int // offset within the block
-	n      int
-	memOff int64  // CP memory offset (read deposit target)
-	data   []byte // write payload
-	src    *cluster.Node
-	done   *sim.WaitGroup // signaled at the CP when the reply lands
+	owner   *Client // issuing client, for release back to its pool
+	gen     uint64
+	srv     *Server // serving IOP, stamped when the reply is sent
+	write   bool
+	block   int
+	off     int // offset within the block
+	n       int
+	memOff  int64  // CP memory offset (read deposit target)
+	data    []byte // write payload snapshot (pooled capacity)
+	payload []byte // read reply staging buffer (owned by srv.pfree)
+	src     *cluster.Node
+	done    *sim.WaitGroup // signaled at the CP when the reply lands
+}
+
+// Reply token kinds.
+const (
+	reqReadLand uint8 = iota + 1 // read data arrived at the CP
+	reqWriteAck                  // write ack arrived at the CP
+)
+
+func (r *request) token(kind uint8) sim.Completion {
+	return sim.Completion{Target: r, Gen: r.gen, Kind: kind}
+}
+
+// Complete handles the reply's arrival at the CP: a read deposits its
+// payload into the user buffer first; both kinds then charge the CP's
+// reply-wakeup cost and signal the requester.
+func (r *request) Complete(c sim.Completion, now sim.Time) {
+	if c.Gen != r.gen {
+		return
+	}
+	s := r.srv
+	if c.Kind == reqReadLand {
+		copy(r.src.Mem[r.memOff:], r.payload)
+		s.pfree.Put(r.payload) // bytes deposited; buffer reusable
+		r.payload = nil
+	}
+	_, end := r.src.CPU.ReserveFor(s.prm.ReplyRecvCPU)
+	done := r.done
+	r.release()
+	s.m.Eng.AtCompletion(end, done.DoneC())
+}
+
+// release returns the record to its owner's pool, invalidating queued
+// tokens (write-payload capacity is kept for reuse).
+func (r *request) release() {
+	r.gen++
+	r.srv = nil
+	r.src = nil
+	r.done = nil
+	r.data = r.data[:0]
+	r.owner.putReq(r)
 }
 
 // syncReq asks an IOP to flush write-behind data, wait out prefetches,
@@ -162,17 +212,11 @@ func (s *Server) handleRead(h *sim.Proc, r *request) {
 	copy(payload, b.data[r.off:r.off+r.n])
 	s.cache.unpin(b)
 	// Reply with the data; it is DMA-deposited straight into the user
-	// buffer at the CP, which then pays a small wakeup cost.
-	dst := r.src
-	memOff := r.memOff
-	done := r.done
+	// buffer at the CP (reqReadLand), which then pays a small wakeup cost.
+	r.payload = payload
+	r.srv = s
 	s.node.CPU.UseFor(h, s.prm.ReplySendCPU)
-	s.m.SendFn(s.node, dst, len(payload), 0, func(sim.Time) {
-		copy(dst.Mem[memOff:], payload)
-		s.pfree.Put(payload) // bytes deposited; buffer reusable
-		_, end := dst.CPU.ReserveFor(s.prm.ReplyRecvCPU)
-		s.m.Eng.At(end, done.Done)
-	})
+	s.m.SendC(s.node, r.src, len(payload), 0, r.token(reqReadLand))
 	s.maybePrefetch(h, r.block)
 }
 
@@ -191,12 +235,9 @@ func (s *Server) handleWrite(h *sim.Proc, r *request) {
 	}
 	full := b.dirty == s.f.BlockSize
 	// Ack before the write-behind happens: the data is safely cached.
-	dst, done := r.src, r.done
+	r.srv = s
 	s.node.CPU.UseFor(h, s.prm.ReplySendCPU)
-	s.m.SendFn(s.node, dst, 0, 0, func(sim.Time) {
-		_, end := dst.CPU.ReserveFor(s.prm.ReplyRecvCPU)
-		s.m.Eng.At(end, done.Done)
-	})
+	s.m.SendC(s.node, r.src, 0, 0, r.token(reqWriteAck))
 	if full && !b.flushing {
 		s.cache.flush(h, b)
 	}
@@ -239,10 +280,7 @@ func (s *Server) handleSync(h *sim.Proc, r *syncReq) {
 			dd.Flush(h)
 		}
 	}
-	dst, done := r.src, r.done
-	s.m.SendFn(s.node, dst, 0, s.prm.ReplySendCPU, func(sim.Time) {
-		done.Done()
-	})
+	s.m.SendC(s.node, r.src, 0, s.prm.ReplySendCPU, r.done.DoneC())
 }
 
 // diskFor returns the disk holding the given file block.

@@ -182,8 +182,8 @@ func (c *Client) permute(p *sim.Proc, cp int, from, to hpf.Access) {
 		}
 		c.perm.Add(1)
 		cpu := c.prm.PermuteMsgCPU + c.prm.SegmentCPU*time.Duration(len(segs)-1)
-		c.m.MemputGather(cpNode, c.m.CPs[dst], segs, cpu, nil,
-			func(sim.Time) { c.perm.Done() })
+		c.m.MemputGather(cpNode, c.m.CPs[dst], segs, cpu,
+			sim.Completion{}, c.perm.DoneC())
 	}
 	c.barrier.Wait(p)
 	if cp == 0 {
