@@ -6,9 +6,11 @@
 //
 // Observability (see EXPERIMENTS.md "Traces and figures"): -trace and
 // -tracecsv record the run's event trace as JSONL / long-format CSV,
-// and -plot renders SVG — a per-disk utilization timeline for a single
-// run, a paper-style figure for a sweep. Tracing forces a single trial:
-// a trace is one run's story.
+// -tracehtml writes a self-contained explorable HTML viewer (timelines,
+// latency percentiles, per-request critical paths), and -plot renders
+// SVG — a per-disk utilization timeline for a single run, a paper-style
+// figure (or two-axis response-surface heatmap) for a sweep. Tracing
+// forces a single trial: a trace is one run's story.
 //
 // Example:
 //
@@ -43,6 +45,7 @@ func main() {
 	sweepCSV := flag.String("sweepcsv", "", "with -sweep: also write the long-format (tidy) per-cell CSV to this file")
 	traceOut := flag.String("trace", "", "write the run's event trace as JSON Lines to this file (single run; forces -trials 1)")
 	traceCSV := flag.String("tracecsv", "", "write the run's event trace as long-format CSV to this file (single run; forces -trials 1)")
+	traceHTML := flag.String("tracehtml", "", "write the run's explorable HTML trace viewer to this file (single run; forces -trials 1)")
 	plotOut := flag.String("plot", "", "write an SVG to this file: a disk-utilization timeline for a single run, the sweep figure with -sweep")
 	faultsArg := flag.String("faults", "", "fault plan: inline JSON ({\"disk_error_rate\":0.05,...}) or a plan file; see EXPERIMENTS.md")
 	workloadArg := flag.String("workload", "", "workload: inline JSON spec, a spec file, or a .csv block trace; see EXPERIMENTS.md")
@@ -110,8 +113,8 @@ func main() {
 	}
 
 	if *sweep != "" {
-		if *traceOut != "" || *traceCSV != "" {
-			fmt.Fprintln(os.Stderr, "ddiosim: -trace/-tracecsv record a single run and are ignored with -sweep")
+		if *traceOut != "" || *traceCSV != "" || *traceHTML != "" {
+			fmt.Fprintln(os.Stderr, "ddiosim: -trace/-tracecsv/-tracehtml record a single run and are ignored with -sweep")
 		}
 		opt := exp.Options{
 			Trials:    *trials,
@@ -174,7 +177,7 @@ func main() {
 	}
 	var t *exp.Trial
 	var rec *trace.Recorder
-	if traced := *traceOut != "" || *traceCSV != "" || *plotOut != ""; traced {
+	if traced := *traceOut != "" || *traceCSV != "" || *traceHTML != "" || *plotOut != ""; traced {
 		// A trace is the story of one run; replicated trials would
 		// interleave into nonsense, so tracing forces a single run.
 		if *trials > 1 {
@@ -241,8 +244,18 @@ func main() {
 			}
 			closeOut(f, *traceCSV)
 		}
+		if *traceHTML != "" {
+			f, err := os.Create(*traceHTML)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.WriteHTML(f, exp.TraceTitle(cfg)); err != nil {
+				fatal(err)
+			}
+			closeOut(f, *traceHTML)
+		}
 		if *plotOut != "" {
-			title := fmt.Sprintf("disk activity — %v %s, %s layout", cfg.Method, cfg.Pattern, cfg.Layout)
+			title := "disk activity — " + exp.TraceTitle(cfg)
 			writeOut(*plotOut, []byte(plot.UtilizationTimeline(rec, title)))
 		}
 		fmt.Printf("  trace: %d events, mean disk utilization %.0f%%\n",

@@ -14,11 +14,13 @@
 //	GET  /healthz                health probe
 //	GET  /v1/presets             built-in sweep specs, as JSON
 //	POST /v1/sweeps              run a sweep (?format=text|json|csv|tablecsv|svg|timesvg, ?async=1)
-//	POST /v1/runs                run one experiment (?trace=jsonl for the event trace)
+//	POST /v1/runs                run one experiment (?trace=jsonl for the event trace,
+//	                             ?trace=html for the explorable trace viewer)
 //	GET  /v1/jobs/{id}           poll an async job
 //	GET  /v1/jobs/{id}/result    collect a finished async job's body
 //	GET  /v1/stats               cache/queue counters, as JSON
-//	GET  /metrics                the same counters, metrics-style text
+//	GET  /metrics                the counters plus per-endpoint duration
+//	                             histograms and response-format totals
 //
 // Example:
 //

@@ -164,8 +164,9 @@ func main() {
 				writeOut(spec.Name+".svg", []byte(plot.SweepFigure(res)))
 				if svg := plot.SweepTimeFigure(res); svg != "" {
 					// Degradation sweeps get the completion-time companion
-					// figure: recovery stretches time even where the
-					// throughput curves flatten.
+					// figure (recovery stretches time even where throughput
+					// curves flatten); workload sweeps get the
+					// request-latency-percentile companion.
 					writeOut(spec.Name+"-time.svg", []byte(svg))
 				}
 			}

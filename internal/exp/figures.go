@@ -7,6 +7,7 @@ import (
 	"ddio/internal/fault"
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
+	"ddio/internal/stats"
 	"ddio/internal/workload"
 )
 
@@ -79,14 +80,20 @@ func (o Options) trials() int {
 // the resulting cells are bit-identical.
 type cellAgg struct {
 	mbps []float64
-	secs []float64 // completion times, for degradation sweeps
+	secs []float64       // completion times, for degradation sweeps
+	lat  []stats.Summary // per-trial request-latency summaries, for workload sweeps
 	left int
 }
 
 func newCellAggs(n, trials int) []cellAgg {
 	aggs := make([]cellAgg, n)
 	for i := range aggs {
-		aggs[i] = cellAgg{mbps: make([]float64, trials), secs: make([]float64, trials), left: trials}
+		aggs[i] = cellAgg{
+			mbps: make([]float64, trials),
+			secs: make([]float64, trials),
+			lat:  make([]stats.Summary, trials),
+			left: trials,
+		}
 	}
 	return aggs
 }
@@ -95,6 +102,7 @@ func newCellAggs(n, trials int) []cellAgg {
 func (a *cellAgg) done(trial int, res *Result) bool {
 	a.mbps[trial] = res.MBps
 	a.secs[trial] = res.Elapsed.Seconds()
+	a.lat[trial] = res.ReqLatency
 	a.left--
 	return a.left == 0
 }

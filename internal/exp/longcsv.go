@@ -13,12 +13,26 @@ import (
 // consume: filter by method/pattern, facet by axis value, no header
 // parsing. The trailing max_bw_mbps column repeats each row's hardware
 // ceiling so bandwidth-bound cells are identifiable without a join.
+//
+// The column set adapts to what the sweep measured, keeping the classic
+// single-axis output byte-identical (pinned by TestLongCSV): two-axis
+// surfaces insert axis2,value2 after value, and workload sweeps append
+// p50_ms,p90_ms,p99_ms request-latency columns after max_bw_mbps.
 func (r *SweepResult) LongCSV() string {
 	var b strings.Builder
-	b.WriteString("sweep,figure,axis,value,method,pattern,n,mean_mbps,stddev,cv,min_mbps,max_mbps,max_bw_mbps\n")
 	s := r.Spec
+	b.WriteString("sweep,figure,axis,value")
+	if s.Axis2 != "" {
+		b.WriteString(",axis2,value2")
+	}
+	b.WriteString(",method,pattern,n,mean_mbps,stddev,cv,min_mbps,max_mbps,max_bw_mbps")
+	latency := r.Table != nil && r.Table.Latency != nil
+	if latency {
+		b.WriteString(",p50_ms,p90_ms,p99_ms")
+	}
+	b.WriteByte('\n')
 	nPat := len(s.Patterns)
-	for vi, v := range s.Values {
+	for vi, pt := range s.rowPoints() {
 		ceiling := 0.0
 		if cells := r.Table.Cells[vi]; len(cells) > 0 {
 			ceiling = cells[len(cells)-1].Mean // trailing max-bw column
@@ -26,9 +40,18 @@ func (r *SweepResult) LongCSV() string {
 		for ci, sum := range r.CellStats[vi] {
 			method := s.Methods[ci/nPat]
 			pattern := s.Patterns[ci%nPat]
-			fmt.Fprintf(&b, "%s,%s,%s,%d,%s,%s,%d,%.3f,%.4f,%.4f,%.3f,%.3f,%.3f\n",
-				s.Name, r.Table.ID, s.Axis, v, method, pattern,
+			fmt.Fprintf(&b, "%s,%s,%s,%d", s.Name, r.Table.ID, s.Axis, pt.v)
+			if s.Axis2 != "" {
+				fmt.Fprintf(&b, ",%s,%d", s.Axis2, pt.v2)
+			}
+			fmt.Fprintf(&b, ",%s,%s,%d,%.3f,%.4f,%.4f,%.3f,%.3f,%.3f",
+				method, pattern,
 				sum.N, sum.Mean, sum.Stddev, sum.CV, sum.Min, sum.Max, ceiling)
+			if latency {
+				lat := r.Table.Latency[vi][ci]
+				fmt.Fprintf(&b, ",%.3f,%.3f,%.3f", lat.P50*1e3, lat.P90*1e3, lat.P99*1e3)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()

@@ -191,6 +191,28 @@ func Presets() []*SweepSpec {
 			Workload: skewWorkload(96),
 		},
 		{
+			Name: "surface-cps-disks", Extends: "fig5 × fig7 response surface",
+			Title:   "throughput surface: CPs × disks (contiguous, 8 KB records)",
+			Note:    "two-axis cross-product; renders as a heatmap per method×pattern",
+			Axis:    AxisCPs,
+			Values:  []int{1, 2, 4, 8, 16},
+			Axis2:   AxisDisks,
+			Values2: []int{1, 2, 4, 8, 16},
+			Layout:  "contiguous", Methods: []string{"ddio", "tc"}, Patterns: []string{"rb", "rc"},
+		},
+		{
+			Name: "surface-smoke", Extends: "surface-cps-disks (tiny CI smoke)",
+			Title:   "throughput surface: CPs × disks (smoke axes)",
+			Note:    "CI smoke preset: 1 trial of a 1 MB file, 2 IOPs",
+			Axis:    AxisCPs,
+			Values:  []int{2, 4},
+			Axis2:   AxisDisks,
+			Values2: []int{2, 4},
+			IOPs:    2,
+			Layout:  "contiguous", Methods: []string{"ddio", "tc"}, Patterns: []string{"rb"},
+			Trials: 1, FileMB: 1,
+		},
+		{
 			Name: "ext-smoke", Extends: "fig5 (tiny beyond-paper smoke)",
 			Title:  "throughput vs number of CPs beyond the paper's 16 (smoke axes)",
 			Note:   "CI smoke preset: 1 trial of a 1 MB file on a 4-IOP/4-disk machine",

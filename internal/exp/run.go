@@ -12,6 +12,7 @@ import (
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
 	"ddio/internal/sim"
+	"ddio/internal/stats"
 	"ddio/internal/tcfs"
 	"ddio/internal/trace"
 	"ddio/internal/twophase"
@@ -67,6 +68,12 @@ type Result struct {
 	DD       core.Metrics  // disk-directed counters (DDIO runs)
 	Faults   FaultTotals   // fault-injection and recovery totals
 	Events   int64         // simulation events fired
+
+	// ReqLatency holds per-request latency statistics (seconds, with
+	// p50/p90/p99 populated) for workload runs — open-arrival runs are
+	// latency studies, not bandwidth studies. Zero for classic
+	// whole-file runs, which have no per-request arrivals to time.
+	ReqLatency stats.Summary
 
 	VerifyErrors int // blocks/chunks that failed end-to-end verification
 }
@@ -384,6 +391,14 @@ func TracedRun(cfg Config) (*Result, *trace.Recorder, error) {
 		return nil, nil, err
 	}
 	return res, rec, nil
+}
+
+// TraceTitle is the canonical title for a traced run's artifacts (the
+// HTML trace viewer, the utilization timeline): one string shared by
+// the CLI and the daemon so both emit byte-identical pages for the
+// same configuration.
+func TraceTitle(cfg Config) string {
+	return fmt.Sprintf("%v %s, %s layout", cfg.Method, cfg.Pattern, cfg.Layout)
 }
 
 // Trial is the aggregate of replicated runs of one configuration.

@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tinySurfaceSpec is a minimal two-axis (CPs × disks) spec for shape
+// and determinism tests: 2×2 rows, one method, one pattern.
+func tinySurfaceSpec() *SweepSpec {
+	return &SweepSpec{
+		Name: "surfS", Title: "surface test",
+		Axis: AxisCPs, Values: []int{1, 2},
+		Axis2: AxisDisks, Values2: []int{2, 4},
+		IOPs:   2,
+		Layout: "contiguous", Methods: []string{"tc"}, Patterns: []string{"rb"},
+	}
+}
+
+// TestSurfaceExpansionShape pins the two-axis cross product: one row
+// per (value, value2) pair, first axis outermost, labels "v1×v2", and
+// both axis fields applied to every expanded config.
+func TestSurfaceExpansionShape(t *testing.T) {
+	spec := tinySurfaceSpec()
+	tab, cfgs, err := spec.Expand(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := []string{"1×2", "1×4", "2×2", "2×4"}
+	if len(tab.Rows) != len(wantRows) {
+		t.Fatalf("%d rows, want %d: %v", len(tab.Rows), len(wantRows), tab.Rows)
+	}
+	for i, want := range wantRows {
+		if tab.Rows[i] != want {
+			t.Fatalf("row %d = %q, want %q", i, tab.Rows[i], want)
+		}
+	}
+	// 4 rows × 1 method × 1 pattern × 1 trial; row-major in the same
+	// order as rows, so config i belongs to row i.
+	if len(cfgs) != 4 {
+		t.Fatalf("%d configs, want 4", len(cfgs))
+	}
+	wantShape := []struct{ cps, disks int }{{1, 2}, {1, 4}, {2, 2}, {2, 4}}
+	for i, c := range cfgs {
+		if c.NCP != wantShape[i].cps || c.NDisks != wantShape[i].disks {
+			t.Fatalf("config %d: CPs=%d disks=%d, want CPs=%d disks=%d",
+				i, c.NCP, c.NDisks, wantShape[i].cps, wantShape[i].disks)
+		}
+		if c.NIOP != 2 {
+			t.Fatalf("config %d: IOPs=%d, want fixed 2", i, c.NIOP)
+		}
+	}
+}
+
+// TestSurfaceRunFull runs the tiny surface end to end: the table row
+// label joins both axes, every cell measures, and the long CSV carries
+// the axis2/value2 columns.
+func TestSurfaceRunFull(t *testing.T) {
+	spec := tinySurfaceSpec()
+	res, err := spec.RunFull(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Table
+	if tab.RowLabel != "CPs×disks" {
+		t.Fatalf("row label %q, want %q", tab.RowLabel, "CPs×disks")
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tab.Rows))
+	}
+	for i, row := range tab.Cells {
+		for j, c := range row {
+			if c.Mean <= 0 {
+				t.Fatalf("cell (%d,%d) empty", i, j)
+			}
+		}
+	}
+	csv := res.LongCSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	wantHeader := "sweep,figure,axis,value,axis2,value2,method,pattern,n,mean_mbps,stddev,cv,min_mbps,max_mbps,max_bw_mbps"
+	if lines[0] != wantHeader {
+		t.Fatalf("header %q, want %q", lines[0], wantHeader)
+	}
+	if len(lines) != 1+4 {
+		t.Fatalf("%d data rows, want 4", len(lines)-1)
+	}
+	if !strings.Contains(lines[2], ",cps,1,disks,4,tc,rb,") {
+		t.Fatalf("row 2 lacks the axis pair: %q", lines[2])
+	}
+}
+
+// TestSurfaceSpecErrors pins the typed validation errors of malformed
+// axis pairs: each case surfaces as a *SpecError naming the offending
+// field, extractable with errors.As.
+func TestSurfaceSpecErrors(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(*SweepSpec)
+		field  string
+	}{
+		"values2 without axis2": {func(s *SweepSpec) { s.Axis2 = "" }, "values2"},
+		"unknown axis2":         {func(s *SweepSpec) { s.Axis2 = "warp" }, "axis2"},
+		"duplicate axis":        {func(s *SweepSpec) { s.Axis2 = s.Axis }, "axis2"},
+		"empty values2":         {func(s *SweepSpec) { s.Values2 = nil }, "values2"},
+		"axis2 value below min": {func(s *SweepSpec) { s.Values2 = []int{0} }, "values2"},
+	}
+	for name, tc := range cases {
+		spec := tinySurfaceSpec()
+		tc.mutate(spec)
+		err := spec.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		var specErr *SpecError
+		if !errors.As(err, &specErr) {
+			t.Errorf("%s: error %v is not a *SpecError", name, err)
+			continue
+		}
+		if specErr.Field != tc.field {
+			t.Errorf("%s: field %q, want %q", name, specErr.Field, tc.field)
+		}
+		if specErr.Spec != spec.Name {
+			t.Errorf("%s: spec %q, want %q", name, specErr.Spec, spec.Name)
+		}
+	}
+}
+
+// TestSurfaceDeterministicAcrossWorkers pins the two-axis result
+// byte-identical across runner fan-outs, like every other artifact.
+func TestSurfaceDeterministicAcrossWorkers(t *testing.T) {
+	spec := tinySurfaceSpec()
+	o1 := tinyOptions()
+	o1.Workers = 1
+	r1, err := spec.RunFull(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o8 := tinyOptions()
+	o8.Workers = 8
+	r8, err := tinySurfaceSpec().RunFull(o8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LongCSV() != r8.LongCSV() {
+		t.Fatal("two-axis LongCSV differs between -j1 and -j8")
+	}
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err := r8.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j8) {
+		t.Fatal("two-axis JSON differs between -j1 and -j8")
+	}
+}
+
+// TestWorkloadSweepLatency runs the workload smoke preset and checks the
+// request-latency percentiles surface everywhere a workload sweep
+// reports: the Latency grid, the formatted table, and the long CSV.
+func TestWorkloadSweepLatency(t *testing.T) {
+	spec, ok := LookupPreset("wl-smoke")
+	if !ok {
+		t.Fatal("wl-smoke preset missing")
+	}
+	res, err := spec.RunFull(Options{Seed: 3, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := res.Table.Latency
+	if lat == nil {
+		t.Fatal("workload sweep carries no Latency grid")
+	}
+	if len(lat) != len(res.Table.Rows) {
+		t.Fatalf("%d latency rows, want %d", len(lat), len(res.Table.Rows))
+	}
+	for vi, row := range lat {
+		for ci, s := range row {
+			if s.N == 0 || s.P50 <= 0 {
+				t.Fatalf("latency cell (%d,%d) empty: %+v", vi, ci, s)
+			}
+			if s.P50 > s.P90 || s.P90 > s.P99 {
+				t.Fatalf("latency cell (%d,%d) percentiles unordered: %+v", vi, ci, s)
+			}
+		}
+	}
+	if txt := res.Table.Format(); !strings.Contains(txt, "request latency p50/p90/p99 (ms)") {
+		t.Fatalf("formatted table lacks the latency block:\n%s", txt)
+	}
+	csv := res.LongCSV()
+	if !strings.Contains(strings.SplitN(csv, "\n", 2)[0], ",p50_ms,p90_ms,p99_ms") {
+		t.Fatalf("long CSV header lacks latency columns: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	// Classic sweeps stay latency-free: zero grid, classic header.
+	classic, err := tinySweepSpec().RunFull(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classic.Table.Latency != nil {
+		t.Fatal("classic sweep unexpectedly carries a Latency grid")
+	}
+	if strings.Contains(classic.LongCSV(), "p50_ms") {
+		t.Fatal("classic long CSV unexpectedly carries latency columns")
+	}
+}

@@ -109,6 +109,16 @@ type SweepSpec struct {
 	// Values are the axis values, one table row each.
 	Values []int `json:"values"`
 
+	// Axis2 and Values2, when set, turn the sweep into a response
+	// surface: the table gets one row per (Values × Values2) pair, first
+	// axis outermost, labeled "v1×v2". Any axis pair from the same axis
+	// set works (cps × disks, wlrate × faultpm, ...) as long as the two
+	// axes differ; template-coherence rules (faultpm needs a retry
+	// budget, wlrate needs an open-arrival phase, ...) apply to either
+	// position. plot.SweepFigure renders two-axis results as heatmaps.
+	Axis2   string `json:"axis2,omitempty"`
+	Values2 []int  `json:"values2,omitempty"`
+
 	// Layout is the disk layout ("contiguous" or "random-blocks").
 	Layout string `json:"layout"`
 	// Methods are the file systems under test, in column-group order
@@ -146,6 +156,20 @@ type SweepSpec struct {
 	Workload *workload.Spec `json:"workload,omitempty"`
 }
 
+// SpecError is the typed validation error for a SweepSpec's two-axis
+// (response-surface) fields, so parsers of untrusted specs — the daemon,
+// the fuzz targets — can distinguish a malformed axis pair from the
+// generic validation failures.
+type SpecError struct {
+	Spec  string // spec name (may be empty if the spec had none)
+	Field string // offending field: "axis2" or "values2"
+	Msg   string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("exp: sweep %q: %s: %s", e.Spec, e.Field, e.Msg)
+}
+
 // Validate checks internal consistency of the spec.
 func (s *SweepSpec) Validate() error {
 	switch {
@@ -169,6 +193,29 @@ func (s *SweepSpec) Validate() error {
 			return fmt.Errorf("exp: sweep %q: axis value %d out of range", s.Name, v)
 		}
 	}
+	if s.Axis2 == "" && len(s.Values2) > 0 {
+		return &SpecError{Spec: s.Name, Field: "values2", Msg: "set without axis2"}
+	}
+	if s.Axis2 != "" {
+		axis2, ok := axisInfo[s.Axis2]
+		if !ok {
+			return &SpecError{Spec: s.Name, Field: "axis2",
+				Msg: fmt.Sprintf("unknown axis %q (want cps, iops, disks, record, faultpm, losspm, stragglers or wlrate)", s.Axis2)}
+		}
+		if s.Axis2 == s.Axis {
+			return &SpecError{Spec: s.Name, Field: "axis2",
+				Msg: fmt.Sprintf("duplicates axis %q; a surface needs two distinct axes", s.Axis)}
+		}
+		if len(s.Values2) == 0 {
+			return &SpecError{Spec: s.Name, Field: "values2", Msg: "axis2 set but values2 empty"}
+		}
+		for _, v := range s.Values2 {
+			if v < axis2.min {
+				return &SpecError{Spec: s.Name, Field: "values2",
+					Msg: fmt.Sprintf("axis value %d out of range", v)}
+			}
+		}
+	}
 	if s.Faults != nil {
 		if err := s.Faults.Validate(0); err != nil {
 			return fmt.Errorf("exp: sweep %q: %w", s.Name, err)
@@ -177,10 +224,11 @@ func (s *SweepSpec) Validate() error {
 	// Degradation axes need a coherent template: injecting disk errors
 	// without a retry budget would be guaranteed data loss, and a
 	// straggler sweep without a slowdown factor would sweep nothing.
-	if s.Axis == AxisFaultPM && s.Faults.Retry().Limit < 1 && maxValue(s.Values) > 0 {
+	// Either axis position counts — surfaces may put a fault axis second.
+	if maxValue(s.axisValues(AxisFaultPM)) > 0 && s.Faults.Retry().Limit < 1 {
 		return fmt.Errorf("exp: sweep %q: faultpm axis needs a faults template with retry_limit >= 1", s.Name)
 	}
-	if s.Axis == AxisStragglers && maxValue(s.Values) > 0 && (s.Faults == nil || s.Faults.StragglerSlowdown <= 1) {
+	if maxValue(s.axisValues(AxisStragglers)) > 0 && (s.Faults == nil || s.Faults.StragglerSlowdown <= 1) {
 		return fmt.Errorf("exp: sweep %q: stragglers axis needs a faults template with straggler_slowdown > 1", s.Name)
 	}
 	if s.Workload != nil {
@@ -190,7 +238,7 @@ func (s *SweepSpec) Validate() error {
 	}
 	// The wlrate axis re-rates open-arrival phases; without one there is
 	// nothing to sweep.
-	if s.Axis == AxisWLRate && s.Workload.OpenPhases() == 0 {
+	if (s.Axis == AxisWLRate || s.Axis2 == AxisWLRate) && s.Workload.OpenPhases() == 0 {
 		return fmt.Errorf("exp: sweep %q: wlrate axis needs a workload template with a poisson-arrival phase", s.Name)
 	}
 	if _, err := pfs.ParseLayout(s.Layout); err != nil {
@@ -205,6 +253,20 @@ func (s *SweepSpec) Validate() error {
 		if _, err := hpf.ParsePattern(p); err != nil {
 			return fmt.Errorf("exp: sweep %q: %w", s.Name, err)
 		}
+	}
+	return nil
+}
+
+// axisValues returns the value list for whichever axis position name
+// occupies, or nil when the spec does not sweep that axis — so
+// coherence checks apply regardless of whether an axis is first or
+// second in a surface.
+func (s *SweepSpec) axisValues(name string) []int {
+	switch name {
+	case s.Axis:
+		return s.Values
+	case s.Axis2:
+		return s.Values2
 	}
 	return nil
 }
@@ -259,6 +321,42 @@ func (s *SweepSpec) methods() []Method {
 	return ms
 }
 
+// axisPoint is one table row of the expansion: its label and the value
+// for each axis position (v2 is unused for single-axis sweeps).
+type axisPoint struct {
+	label string
+	v, v2 int
+}
+
+// rowPoints returns one point per table row: the axis values of a
+// single-axis sweep, or the Values × Values2 cross-product (first axis
+// outermost) of a two-axis surface, row-labeled "v1×v2".
+func (s *SweepSpec) rowPoints() []axisPoint {
+	if s.Axis2 == "" {
+		pts := make([]axisPoint, len(s.Values))
+		for i, v := range s.Values {
+			pts[i] = axisPoint{label: fmt.Sprintf("%d", v), v: v}
+		}
+		return pts
+	}
+	pts := make([]axisPoint, 0, len(s.Values)*len(s.Values2))
+	for _, v := range s.Values {
+		for _, v2 := range s.Values2 {
+			pts = append(pts, axisPoint{label: fmt.Sprintf("%d×%d", v, v2), v: v, v2: v2})
+		}
+	}
+	return pts
+}
+
+// rowLabel returns the table's row-label header: the axis label, or
+// "label1×label2" for a surface.
+func (s *SweepSpec) rowLabel() string {
+	if s.Axis2 == "" {
+		return axisInfo[s.Axis].rowLabel
+	}
+	return axisInfo[s.Axis].rowLabel + "×" + axisInfo[s.Axis2].rowLabel
+}
+
 // Expand validates the spec and expands it against the options into the
 // table skeleton (rows, columns, hardware-ceiling cells) and the flat
 // (cell × trial) config grid, in the exact order the original figure
@@ -273,7 +371,8 @@ func (s *SweepSpec) Expand(o Options) (*Table, []Config, error) {
 	layout, _ := pfs.ParseLayout(s.Layout)
 	methods := s.methods()
 	axis := axisInfo[s.Axis]
-	t := &Table{ID: s.TableID(), Title: s.Title, RowLabel: axis.rowLabel, Note: s.Note}
+	points := s.rowPoints()
+	t := &Table{ID: s.TableID(), Title: s.Title, RowLabel: s.rowLabel(), Note: s.Note}
 	for _, m := range methods {
 		for _, p := range s.Patterns {
 			t.Cols = append(t.Cols, fmt.Sprintf("%s %s", m, p))
@@ -282,11 +381,11 @@ func (s *SweepSpec) Expand(o Options) (*Table, []Config, error) {
 	t.Cols = append(t.Cols, "max-bw")
 	cellsPerRow := len(methods) * len(s.Patterns)
 	trials := o.trials()
-	cfgs := make([]Config, 0, len(s.Values)*cellsPerRow*trials)
-	t.Cells = make([][]Cell, len(s.Values))
-	for vi, v := range s.Values {
-		t.Rows = append(t.Rows, fmt.Sprintf("%d", v))
-		t.Cells[vi] = make([]Cell, cellsPerRow+1)
+	cfgs := make([]Config, 0, len(points)*cellsPerRow*trials)
+	t.Cells = make([][]Cell, len(points))
+	for pi, pt := range points {
+		t.Rows = append(t.Rows, pt.label)
+		t.Cells[pi] = make([]Cell, cellsPerRow+1)
 		var ceiling float64
 		for _, m := range methods {
 			for _, p := range s.Patterns {
@@ -310,7 +409,10 @@ func (s *SweepSpec) Expand(o Options) (*Table, []Config, error) {
 				if s.Workload != nil {
 					cfg.Workload = s.Workload
 				}
-				axis.apply(&cfg, v)
+				axis.apply(&cfg, pt.v)
+				if s.Axis2 != "" {
+					axisInfo[s.Axis2].apply(&cfg, pt.v2)
+				}
 				ceiling = cfg.MaxBandwidthMBps()
 				for k := 0; k < trials; k++ {
 					c := cfg
@@ -319,7 +421,7 @@ func (s *SweepSpec) Expand(o Options) (*Table, []Config, error) {
 				}
 			}
 		}
-		t.Cells[vi][cellsPerRow] = Cell{Mean: ceiling}
+		t.Cells[pi][cellsPerRow] = Cell{Mean: ceiling}
 	}
 	return t, cfgs, nil
 }
@@ -381,19 +483,31 @@ func (s *SweepSpec) RunFull(o Options) (*SweepResult, error) {
 	methods := s.methods()
 	cellsPerRow := len(methods) * len(s.Patterns)
 	trials := o.trials()
-	cellStats := make([][]stats.Summary, len(s.Values))
+	nRows := len(t.Rows)
+	cellStats := make([][]stats.Summary, nRows)
 	var cellTime [][]stats.Summary
 	if s.Faults != nil {
-		cellTime = make([][]stats.Summary, len(s.Values))
+		cellTime = make([][]stats.Summary, nRows)
 	}
-	for i := range cellStats {
+	// Workload sweeps are latency studies as much as bandwidth studies:
+	// every cell carries request-latency percentiles (seconds over all
+	// trial requests). Absent for classic whole-file sweeps, keeping
+	// their table JSON byte-identical (omitempty).
+	var cellLat [][]stats.Summary
+	if s.Workload != nil {
+		cellLat = make([][]stats.Summary, nRows)
+	}
+	for i := 0; i < nRows; i++ {
 		cellStats[i] = make([]stats.Summary, cellsPerRow)
 		if cellTime != nil {
 			cellTime[i] = make([]stats.Summary, cellsPerRow)
 		}
+		if cellLat != nil {
+			cellLat[i] = make([]stats.Summary, cellsPerRow)
+		}
 	}
 	r := o.runner()
-	aggs := newCellAggs(len(s.Values)*cellsPerRow, trials)
+	aggs := newCellAggs(nRows*cellsPerRow, trials)
 	_, err = r.RunAll(cfgs, func(idx int, res *Result) {
 		cell, trial := idx/trials, idx%trials
 		if aggs[cell].done(trial, res) {
@@ -403,6 +517,9 @@ func (s *SweepSpec) RunFull(o Options) (*SweepResult, error) {
 			if cellTime != nil {
 				cellTime[vi][ci] = stats.Summarize(aggs[cell].secs)
 			}
+			if cellLat != nil {
+				cellLat[vi][ci] = stats.Combine(aggs[cell].lat)
+			}
 			r.progressLocked("%s %s=%s %-4s %-9v %7.2f MB/s (cv %.3f)", t.ID, t.RowLabel,
 				t.Rows[vi], s.Patterns[ci%len(s.Patterns)], methods[ci/len(s.Patterns)],
 				t.Cells[vi][ci].Mean, t.Cells[vi][ci].CV)
@@ -411,6 +528,7 @@ func (s *SweepSpec) RunFull(o Options) (*SweepResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", t.ID, err)
 	}
+	t.Latency = cellLat
 	return &SweepResult{Spec: s, Table: t, CellStats: cellStats, CellTime: cellTime}, nil
 }
 

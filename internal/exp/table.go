@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"ddio/internal/stats"
 )
 
 // Cell is one measured table entry: mean throughput over trials and its
@@ -26,6 +28,13 @@ type Table struct {
 	Cols     []string `json:"cols"`           // column labels, inner cell index
 	Cells    [][]Cell `json:"cells"`          // measured grid, [row][col]
 	Note     string   `json:"note,omitempty"` // optional caption line
+
+	// Latency carries per-cell request-latency statistics (seconds, with
+	// p50/p90/p99 populated), same [row][col] indexing as Cells but
+	// without the trailing max-bw column. Populated only for workload
+	// sweeps — open-arrival runs are latency studies — and omitted
+	// otherwise, keeping classic sweep JSON byte-identical.
+	Latency [][]stats.Summary `json:"latency,omitempty"`
 }
 
 // Format renders the table as aligned text (MB/s means; cv in
@@ -55,6 +64,24 @@ func (t *Table) Format() string {
 			}
 		}
 		b.WriteByte('\n')
+	}
+	if t.Latency != nil {
+		// Workload sweeps append a latency view: per-request p50/p90/p99
+		// in milliseconds, same grid as the throughput block above.
+		fmt.Fprintf(&b, "\nrequest latency p50/p90/p99 (ms)\n")
+		fmt.Fprintf(&b, "%-*s", w+2, t.RowLabel)
+		for j := range t.Latency[0] {
+			fmt.Fprintf(&b, "%22s", t.Cols[j])
+		}
+		b.WriteByte('\n')
+		for i, r := range t.Rows {
+			fmt.Fprintf(&b, "%-*s", w+2, r)
+			for _, s := range t.Latency[i] {
+				fmt.Fprintf(&b, "%22s", fmt.Sprintf("%.2f/%.2f/%.2f",
+					s.P50*1e3, s.P90*1e3, s.P99*1e3))
+			}
+			b.WriteByte('\n')
+		}
 	}
 	if t.Note != "" {
 		fmt.Fprintf(&b, "note: %s\n", t.Note)

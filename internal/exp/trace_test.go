@@ -174,3 +174,38 @@ func TestLongCSV(t *testing.T) {
 		t.Fatalf("row order wrong:\n%s", got)
 	}
 }
+
+// TestCriticalPathsCoverRealRun: on a real traced run the critical-path
+// decomposition is total — every request's four buckets (disk, retry,
+// service, queue) sum exactly to its end-to-end latency, and the
+// request count matches the latency summary.
+func TestCriticalPathsCoverRealRun(t *testing.T) {
+	for _, m := range []Method{TraditionalCaching, DiskDirectedSort} {
+		_, rec, err := TracedRun(fig3aStyle(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		paths := rec.CriticalPaths()
+		if len(paths) == 0 {
+			t.Fatalf("%v: no critical paths from a traced run", m)
+		}
+		if lat := rec.RequestLatencies(); lat.N != len(paths) {
+			t.Fatalf("%v: %d paths vs %d latencies", m, len(paths), lat.N)
+		}
+		var disk int64
+		for _, p := range paths {
+			sum := p.Disk + p.Retry + p.Service + p.Queue
+			if sum != p.End-p.Start {
+				t.Fatalf("%v: request %s/%d buckets sum %d != latency %d",
+					m, p.Node, p.ID, sum, p.End-p.Start)
+			}
+			if p.Disk < 0 || p.Retry < 0 || p.Service < 0 || p.Queue < 0 {
+				t.Fatalf("%v: negative bucket in %+v", m, p)
+			}
+			disk += p.Disk
+		}
+		if disk == 0 {
+			t.Fatalf("%v: no request overlapped any disk service", m)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"ddio/internal/pfs"
 	"ddio/internal/sim"
 	"ddio/internal/tcfs"
+	"ddio/internal/trace"
 	"ddio/internal/twophase"
 	"ddio/internal/workload"
 )
@@ -31,6 +32,16 @@ func runWorkload(cfg Config) (*Result, error) {
 		FileBytes:  cfg.FileBytes,
 		BlockSize:  cfg.BlockSize,
 		RecordSize: cfg.RecordSize,
+	}
+	// Workload runs always time their requests (open-arrival runs are
+	// latency studies): when the caller did not attach a recorder, attach
+	// one filtered to request-end events — one retained event per
+	// request. Recorders are passive, so the event sequence and every
+	// throughput metric are identical either way.
+	latRec := cfg.Trace
+	if latRec == nil {
+		latRec = trace.NewFiltered(trace.KindReqEnd)
+		cfg.Trace = latRec
 	}
 	mc, err := buildMachine(&cfg)
 	if err != nil {
@@ -278,6 +289,7 @@ func runWorkload(cfg Config) (*Result, error) {
 	// meaningless; both throughput columns report bytes actually moved.
 	r.MBps = float64(r.MovedBytes) / sec / MiB
 	r.AggMBps = r.MBps
+	r.ReqLatency = latRec.RequestLatencies()
 
 	if cfg.Verify {
 		r.VerifyErrors = verifyWorkload(res, appBase, f, m)

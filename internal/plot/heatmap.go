@@ -1,0 +1,189 @@
+package plot
+
+// heatmap.go renders response surfaces: a two-axis sweep's value grid
+// as small-multiple heat panels, one per method×pattern, on a shared
+// color scale so panels compare directly. Like every chart here the
+// output is deterministic — the color ramp is computed at fixed
+// precision — so surfaces are golden-testable and diff cleanly.
+
+import (
+	"fmt"
+	"math"
+)
+
+// Heat cell geometry.
+const (
+	heatCellW = 52.0
+	heatCellH = 26.0
+	heatGap   = 26.0 // between panels
+	rampSteps = 6
+	rampStepW = 22.0
+	rampStepH = 10.0
+)
+
+// heatColor maps t in [0, 1] to the sequential light→dark ramp
+// (single-hue blue: magnitude reads as darkness, not as a hue change).
+// Channels interpolate in sRGB and round to integers, so the palette is
+// a fixed, finite set of colors.
+func heatColor(t float64) string {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	lo := [3]float64{0xf2, 0xf6, 0xfb}
+	hi := [3]float64{0x14, 0x3a, 0x68}
+	var c [3]int
+	for i := range c {
+		c[i] = int(math.Round(lo[i] + t*(hi[i]-lo[i])))
+	}
+	return fmt.Sprintf("#%02x%02x%02x", c[0], c[1], c[2])
+}
+
+// heatInk returns the annotation ink for a cell of ramp position t:
+// primary ink on light cells, surface white on dark ones.
+func heatInk(t float64) string {
+	if t > 0.55 {
+		return surfaceColor
+	}
+	return inkPrimary
+}
+
+// rectOutline draws an unfilled rectangle (the svg rect helper is
+// fill-only).
+func (s *svg) rectOutline(x, y, w, h float64, stroke string, width float64, dash string) {
+	fmt.Fprintf(&s.b, `<rect x="%s" y="%s" width="%s" height="%s" fill="none" stroke="%s" stroke-width="%s"`,
+		num(x), num(y), num(w), num(h), stroke, num(width))
+	if dash != "" {
+		fmt.Fprintf(&s.b, ` stroke-dasharray="%s"`, dash)
+	}
+	s.b.WriteString("/>\n")
+}
+
+// HeatPanel is one small-multiple of a heatmap: a Z value grid indexed
+// [row][col] (rows pair with the Heatmap's YCats, cols with XCats), and
+// an optional Mark grid flagging cells to outline — the sweep figures
+// mark cells at the hardware ceiling.
+type HeatPanel struct {
+	Label string
+	Z     [][]float64
+	Mark  [][]bool
+}
+
+// Heatmap renders YCats × XCats value grids as heat panels side by
+// side on one shared [0, max] color scale with per-cell annotations
+// and a discrete ramp legend.
+type Heatmap struct {
+	Title, Subtitle string
+	XLabel, YLabel  string
+	XCats, YCats    []string
+	Panels          []HeatPanel
+	// ZLabel names the cell value in the legend ("MB/s").
+	ZLabel string
+	W, H   float64 // 0 auto-sizes to the grid
+}
+
+// SVG renders the heatmap.
+func (c *Heatmap) SVG() string {
+	nx, ny, np := len(c.XCats), len(c.YCats), len(c.Panels)
+	panelW := float64(nx) * heatCellW
+	w := c.W
+	if w == 0 {
+		w = marginLeft + float64(np)*panelW + float64(np-1)*heatGap + marginRight
+		if w < 480 {
+			w = 480
+		}
+	}
+	top := 46.0
+	if c.Subtitle != "" {
+		top += 16
+	}
+	top += 18 // panel label row
+	h := c.H
+	if h == 0 {
+		h = top + float64(ny)*heatCellH + 64
+	}
+
+	// Shared scale over every panel.
+	var zmax float64
+	for _, p := range c.Panels {
+		for _, row := range p.Z {
+			for _, v := range row {
+				if v > zmax {
+					zmax = v
+				}
+			}
+		}
+	}
+	annot := func(v float64) string {
+		if zmax >= 100 {
+			return fmt.Sprintf("%.0f", v)
+		}
+		return fmt.Sprintf("%.1f", v)
+	}
+
+	s := newSVG(w, h)
+	s.text(marginLeft, 20, c.Title, "start", titleSize, inkPrimary, 0)
+	if c.Subtitle != "" {
+		s.text(marginLeft, 38, c.Subtitle, "start", subSize, inkSecondary, 0)
+	}
+
+	gridB := top + float64(ny)*heatCellH
+	for pi, p := range c.Panels {
+		px := marginLeft + float64(pi)*(panelW+heatGap)
+		s.text(px+panelW/2, top-6, p.Label, "middle", labelSize, inkPrimary, 0)
+		for yi := 0; yi < ny; yi++ {
+			y := top + float64(yi)*heatCellH
+			if pi == 0 {
+				s.text(px-6, y+heatCellH/2+3.5, c.YCats[yi], "end", tickSize, inkSecondary, 0)
+			}
+			for xi := 0; xi < nx; xi++ {
+				x := px + float64(xi)*heatCellW
+				var v float64
+				if yi < len(p.Z) && xi < len(p.Z[yi]) {
+					v = p.Z[yi][xi]
+				}
+				t := 0.0
+				if zmax > 0 {
+					t = v / zmax
+				}
+				s.groupStart()
+				s.tooltip(fmt.Sprintf("%s @ %s×%s: %.2f", p.Label, c.YCats[yi], c.XCats[xi], v))
+				s.rect(x, y, heatCellW-1, heatCellH-1, heatColor(t), 0)
+				s.text(x+(heatCellW-1)/2, y+heatCellH/2+3, annot(v), "middle", tickSize, heatInk(t), 0)
+				if yi < len(p.Mark) && xi < len(p.Mark[yi]) && p.Mark[yi][xi] {
+					// At the hardware ceiling: dashed inset outline.
+					s.rectOutline(x+1.5, y+1.5, heatCellW-4, heatCellH-4, heatInk(t), 1, "3 2")
+				}
+				s.groupEnd()
+			}
+		}
+		for xi := 0; xi < nx; xi++ {
+			x := px + float64(xi)*heatCellW + (heatCellW-1)/2
+			s.text(x, gridB+14, c.XCats[xi], "middle", tickSize, inkSecondary, 0)
+		}
+	}
+	if c.XLabel != "" {
+		s.text((marginLeft+w-marginRight)/2, gridB+30, c.XLabel, "middle", labelSize, inkSecondary, 0)
+	}
+	if c.YLabel != "" {
+		s.text(16, top+float64(ny)*heatCellH/2, c.YLabel, "middle", labelSize, inkSecondary, -90)
+	}
+
+	// Discrete ramp legend: rampSteps swatches from 0 to the shared max.
+	ly := h - 20
+	lx := marginLeft
+	for i := 0; i < rampSteps; i++ {
+		t := (float64(i) + 0.5) / rampSteps
+		s.rect(lx+float64(i)*rampStepW, ly-rampStepH, rampStepW-1, rampStepH, heatColor(t), 0)
+	}
+	s.text(lx, ly+12, "0", "start", tickSize, inkSecondary, 0)
+	label := annot(zmax)
+	if c.ZLabel != "" {
+		label += " " + c.ZLabel
+	}
+	s.text(lx+rampSteps*rampStepW-1, ly+12, label, "end", tickSize, inkSecondary, 0)
+	s.text(lx+rampSteps*rampStepW+10, ly-1, "shared scale; dashed = at hardware ceiling", "start", tickSize, inkSecondary, 0)
+	return s.String()
+}

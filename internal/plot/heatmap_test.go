@@ -1,0 +1,145 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"ddio/internal/exp"
+	"ddio/internal/stats"
+)
+
+// sampleSurface builds a small synthetic two-axis SweepResult (CPs ×
+// disks, two panels) with the top-right cells at the hardware ceiling.
+func sampleSurface() *exp.SweepResult {
+	spec := &exp.SweepSpec{
+		Name: "sample-surface", ID: "figH",
+		Title:    "throughput surface (sample)",
+		Axis:     exp.AxisCPs,
+		Values:   []int{1, 2, 4},
+		Axis2:    exp.AxisDisks,
+		Values2:  []int{2, 4},
+		Layout:   "contiguous",
+		Methods:  []string{"ddio", "tc"},
+		Patterns: []string{"rb"},
+	}
+	t := &exp.Table{
+		ID: "figH", Title: spec.Title, RowLabel: "CPs×disks",
+		Cols: []string{"DDIO rb", "TC rb", "max-bw"},
+	}
+	// Row order matches rowPoints(): first axis outermost.
+	means := [][]float64{
+		{2.1, 1.8, 4.6}, // 1×2
+		{4.0, 3.1, 9.3}, // 1×4
+		{2.3, 1.9, 4.6}, // 2×2
+		{4.4, 3.4, 9.3}, // 2×4
+		{4.6, 2.0, 4.6}, // 4×2 — DDIO at the ceiling (dashed mark)
+		{9.2, 3.6, 9.3}, // 4×4 — DDIO at the ceiling
+	}
+	for i, row := range means {
+		t.Rows = append(t.Rows, []string{"1×2", "1×4", "2×2", "2×4", "4×2", "4×4"}[i])
+		cells := make([]exp.Cell, len(row))
+		for j, v := range row {
+			cells[j] = exp.Cell{Mean: v}
+		}
+		t.Cells = append(t.Cells, cells)
+	}
+	cs := make([][]stats.Summary, len(t.Rows))
+	for i := range cs {
+		cs[i] = make([]stats.Summary, len(t.Cols)-1)
+		for j := range cs[i] {
+			cs[i][j] = stats.Summary{N: 1, Mean: means[i][j], Min: means[i][j], Max: means[i][j]}
+		}
+	}
+	return &exp.SweepResult{Spec: spec, Table: t, CellStats: cs}
+}
+
+func TestSweepHeatmapGolden(t *testing.T) {
+	checkGolden(t, "sweep_heatmap.svg", SweepFigure(sampleSurface()))
+}
+
+// TestSweepHeatmapShape pins the structure: SweepFigure dispatches
+// two-axis results to the heatmap, one panel per method×pattern (no
+// max-bw panel), ny×nx annotated cells each, dashed outlines only on
+// the at-ceiling cells, and a shared ramp legend.
+func TestSweepHeatmapShape(t *testing.T) {
+	res := sampleSurface()
+	svg := SweepFigure(res)
+	if !strings.Contains(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatal("not an SVG document")
+	}
+	// 2 panels × (3×2 cells) filled rects + 6 ramp swatches + 2 dashed
+	// ceiling outlines + the document background rect.
+	if got := strings.Count(svg, "<rect"); got != 2*6+6+2+1 {
+		t.Fatalf("%d rects, want %d (cells + ramp + marks + background)", got, 2*6+6+2+1)
+	}
+	if got := strings.Count(svg, `stroke-dasharray="3 2"`); got != 2 {
+		t.Fatalf("%d dashed ceiling marks, want 2", got)
+	}
+	for _, want := range []string{"DDIO rb", "TC rb", "shared scale", "MB/s"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("heatmap lacks %q", want)
+		}
+	}
+	if strings.Contains(svg, "max-bw") {
+		t.Fatal("heatmap renders the max-bw column as a panel")
+	}
+	// Annotations: cell values appear at one decimal (zmax < 100).
+	if !strings.Contains(svg, ">9.2<") || !strings.Contains(svg, ">1.8<") {
+		t.Fatal("cell annotations missing")
+	}
+}
+
+func TestHeatColorRamp(t *testing.T) {
+	if c := heatColor(0); c != "#f2f6fb" {
+		t.Fatalf("ramp start %s", c)
+	}
+	if c := heatColor(1); c != "#143a68" {
+		t.Fatalf("ramp end %s", c)
+	}
+	if heatColor(-5) != heatColor(0) || heatColor(7) != heatColor(1) {
+		t.Fatal("ramp does not clamp")
+	}
+	if heatInk(0.2) != inkPrimary || heatInk(0.9) != surfaceColor {
+		t.Fatal("annotation ink does not flip on dark cells")
+	}
+}
+
+// TestHeatmapDeterministic: repeated renders are byte-identical (the
+// figure layer adds no state).
+func TestHeatmapDeterministic(t *testing.T) {
+	a := SweepFigure(sampleSurface())
+	b := SweepFigure(sampleSurface())
+	if a != b {
+		t.Fatal("heatmap output differs between renders")
+	}
+}
+
+// TestSweepLatencyFigure pins the workload sweep companion: a latency
+// grid renders p50 (solid) and p99 (dashed) lines per column; without
+// one SweepTimeFigure stays empty.
+func TestSweepLatencyFigure(t *testing.T) {
+	res := sampleSweep()
+	if svg := SweepTimeFigure(res); svg != "" {
+		t.Fatal("classic sweep got a time figure")
+	}
+	lat := make([][]stats.Summary, len(res.Table.Rows))
+	for i := range lat {
+		lat[i] = make([]stats.Summary, len(res.Table.Cols)-1)
+		for j := range lat[i] {
+			lat[i][j] = stats.Summary{N: 4, P50: 0.002 * float64(i+1), P90: 0.003 * float64(i+1), P99: 0.005 * float64(i+1)}
+		}
+	}
+	res.Table.Latency = lat
+	svg := SweepTimeFigure(res)
+	if svg == "" {
+		t.Fatal("workload sweep got no latency figure")
+	}
+	for _, want := range []string{"request latency (ms)", "DDIO ra p50", "DDIO ra p99", "(request latency)"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("latency figure lacks %q", want)
+		}
+	}
+	if strings.Contains(svg, "max-bw") || strings.Contains(svg, "max bandwidth") {
+		t.Fatal("latency figure renders the ceiling column")
+	}
+}

@@ -37,6 +37,22 @@ var sweepSeeds = []string{
 	`{"preset":"fig5-paper","workload":{"phases":[{"pattern":"uniform","requests":1,"bogus":1}]}}`,
 	`{"spec":{"name":"w","title":"w","axis":"wlrate","values":[100],"layout":"random-blocks",
 		"methods":["ddio"],"patterns":["rb"]}}`,
+	// Two-axis response surfaces: a valid pair, then every malformed
+	// axis-pair shape (values2 without axis2, duplicate axis, unknown
+	// axis2, empty values2, out-of-range value2) — all must answer 4xx.
+	`{"preset":"surface-smoke"}`,
+	`{"spec":{"name":"s2","title":"t","axis":"cps","values":[1,2],"axis2":"disks","values2":[2,4],
+		"layout":"contiguous","methods":["tc"],"patterns":["rb"]},"trials":1,"filemb":1}`,
+	`{"spec":{"name":"s2","title":"t","axis":"cps","values":[1],"values2":[2],
+		"layout":"contiguous","methods":["tc"],"patterns":["rb"]}}`,
+	`{"spec":{"name":"s2","title":"t","axis":"cps","values":[1],"axis2":"cps","values2":[2],
+		"layout":"contiguous","methods":["tc"],"patterns":["rb"]}}`,
+	`{"spec":{"name":"s2","title":"t","axis":"cps","values":[1],"axis2":"warp","values2":[2],
+		"layout":"contiguous","methods":["tc"],"patterns":["rb"]}}`,
+	`{"spec":{"name":"s2","title":"t","axis":"cps","values":[1],"axis2":"disks","values2":[],
+		"layout":"contiguous","methods":["tc"],"patterns":["rb"]}}`,
+	`{"spec":{"name":"s2","title":"t","axis":"cps","values":[1],"axis2":"disks","values2":[0],
+		"layout":"contiguous","methods":["tc"],"patterns":["rb"]}}`,
 	``,
 	`{`,
 	`{}`,

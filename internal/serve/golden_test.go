@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"testing"
 
 	"ddio/internal/exp"
@@ -64,11 +65,15 @@ func TestServedSweepsMatchFiguresArtifacts(t *testing.T) {
 				"csv":  res.LongCSV(),         // <name>-long.csv
 				"svg":  plot.SweepFigure(res), // <name>.svg
 			}
-			if p.degrade {
-				want["timesvg"] = plot.SweepTimeFigure(res) // <name>-time.svg
-				if want["timesvg"] == "" {
-					t.Fatal("degradation sweep produced no time figure")
-				}
+			// <name>-time.svg exists for degradation sweeps (completion
+			// time) and workload sweeps (request-latency percentiles).
+			if svg := plot.SweepTimeFigure(res); svg != "" {
+				want["timesvg"] = svg
+			} else if p.degrade {
+				t.Fatal("degradation sweep produced no time figure")
+			}
+			if p.name == "wl-smoke" && want["timesvg"] == "" {
+				t.Fatal("workload sweep produced no latency figure")
 			}
 
 			cold := true
@@ -139,5 +144,51 @@ func TestServedWorkloadRun(t *testing.T) {
 	}
 	if plainSum.CellKey == sum.CellKey {
 		t.Fatal("workload and plain runs share a cell key")
+	}
+}
+
+// TestServedTraceHTMLMatchesViewer pins the served trace viewer: POST
+// /v1/runs?trace=html returns bytes identical to what ddiosim
+// -tracehtml writes for the same configuration (exp.TracedRun +
+// Recorder.WriteHTML with the shared exp.TraceTitle), with the HTML
+// content type.
+func TestServedTraceHTMLMatchesViewer(t *testing.T) {
+	s := New(Config{QueueDepth: 2, Concurrency: 1})
+	body := `{"method":"ddio","pattern":"rb","cps":2,"iops":2,"disks":2,"filemb":1,"seed":11}`
+
+	q, err := ParseRunRequest([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := q.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := exp.TracedRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := rec.WriteHTML(&want, exp.TraceTitle(cfg)); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := do(t, s, "POST", "/v1/runs?trace=html", body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	if rr.Body.String() != want.String() {
+		t.Fatalf("served viewer differs from the CLI page: served %d bytes, want %d",
+			rr.Body.Len(), want.Len())
+	}
+	// And the page is reproducible: a second served request is
+	// byte-identical (traced runs bypass the cell cache, so this
+	// re-simulates from the same seed).
+	again := do(t, s, "POST", "/v1/runs?trace=html", body)
+	if again.Body.String() != rr.Body.String() {
+		t.Fatal("served viewer is not deterministic across requests")
 	}
 }

@@ -1,0 +1,123 @@
+package serve
+
+// metrics.go is the HTTP-level observability layer: a per-endpoint
+// request-duration histogram and per-endpoint×format response counters,
+// both exported through GET /metrics in Prometheus text exposition
+// format. Durations are wall-clock and therefore not deterministic;
+// counts are, and the emit order is sorted so scrapes diff cleanly.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// durBuckets are the duration histogram's upper bounds in seconds: a
+// cache hit answers in microseconds, a cold smoke sweep in tens of
+// milliseconds, a full paper figure in seconds.
+var durBuckets = []float64{0.001, 0.005, 0.025, 0.1, 1, 10}
+
+// durHist is one endpoint's duration histogram: per-bucket counts (the
+// last slot is +Inf), made cumulative at emit time per the Prometheus
+// histogram convention.
+type durHist struct {
+	buckets []int64
+	count   int64
+	sum     float64
+}
+
+// httpMetrics aggregates the per-endpoint measurements.
+type httpMetrics struct {
+	mu        sync.Mutex
+	durations map[string]*durHist
+	responses map[string]map[string]int64 // endpoint → format → count
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{
+		durations: make(map[string]*durHist),
+		responses: make(map[string]map[string]int64),
+	}
+}
+
+// observe records one served request's duration.
+func (m *httpMetrics) observe(endpoint string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.durations[endpoint]
+	if h == nil {
+		h = &durHist{buckets: make([]int64, len(durBuckets)+1)}
+		m.durations[endpoint] = h
+	}
+	// Smallest bucket whose bound covers the value (le is inclusive);
+	// past the last bound it lands in +Inf.
+	h.buckets[sort.SearchFloat64s(durBuckets, seconds)]++
+	h.count++
+	h.sum += seconds
+}
+
+// countResponse records one successfully rendered response.
+func (m *httpMetrics) countResponse(endpoint, format string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.responses[endpoint]
+	if f == nil {
+		f = make(map[string]int64)
+		m.responses[endpoint] = f
+	}
+	f[format]++
+}
+
+// sortedKeys returns a map's keys in lexical order, for deterministic
+// emission.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// emit appends the HTTP metric lines in Prometheus text format.
+func (m *httpMetrics) emit(b *strings.Builder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ep := range sortedKeys(m.durations) {
+		h := m.durations[ep]
+		var cum int64
+		for i, bound := range durBuckets {
+			cum += h.buckets[i]
+			fmt.Fprintf(b, "ddiosimd_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += h.buckets[len(durBuckets)]
+		fmt.Fprintf(b, "ddiosimd_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(b, "ddiosimd_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count)
+		fmt.Fprintf(b, "ddiosimd_http_request_duration_seconds_sum{endpoint=%q} %s\n",
+			ep, strconv.FormatFloat(h.sum, 'g', -1, 64))
+	}
+	for _, ep := range sortedKeys(m.responses) {
+		formats := m.responses[ep]
+		for _, f := range sortedKeys(formats) {
+			fmt.Fprintf(b, "ddiosimd_responses_total{endpoint=%q,format=%q} %d\n", ep, f, formats[f])
+		}
+	}
+}
+
+// endpointLabel maps a request path to its metric label: the first
+// path segment under /v1 ("sweeps", "runs", "jobs", ...), or the bare
+// segment for the unversioned endpoints ("healthz", "metrics").
+func endpointLabel(path string) string {
+	p := strings.TrimPrefix(path, "/v1")
+	p = strings.TrimPrefix(p, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		p = p[:i]
+	}
+	if p == "" {
+		p = "root"
+	}
+	return p
+}

@@ -17,6 +17,7 @@ import (
 	"ddio/internal/fault"
 	"ddio/internal/hpf"
 	"ddio/internal/pfs"
+	"ddio/internal/stats"
 	"ddio/internal/workload"
 )
 
@@ -208,8 +209,11 @@ type RunSummary struct {
 	Events       int64           `json:"events"`
 	VerifyErrors int             `json:"verify_errors"`
 	Faults       exp.FaultTotals `json:"faults"`
-	CellKey      string          `json:"cell_key"`
-	Cached       bool            `json:"cached"` // served from the cell cache
+	// ReqLatency carries the per-request latency percentiles of a
+	// workload run (seconds); omitted for classic whole-file runs.
+	ReqLatency *stats.Summary `json:"req_latency,omitempty"`
+	CellKey    string         `json:"cell_key"`
+	Cached     bool           `json:"cached"` // served from the cell cache
 }
 
 // summarize renders one run result for the wire.
@@ -225,5 +229,14 @@ func summarize(res *exp.Result, cached bool) *RunSummary {
 		ElapsedNS: res.Elapsed.Nanoseconds(), Events: res.Events,
 		VerifyErrors: res.VerifyErrors, Faults: res.Faults,
 		CellKey: exp.CellKey(cfg), Cached: cached,
+	}
+}
+
+// attachLatency adds a workload run's request-latency summary to the
+// wire shape; classic runs carry none and keep their JSON unchanged.
+func attachLatency(sum *RunSummary, res *exp.Result) {
+	if res.ReqLatency.N > 0 {
+		lat := res.ReqLatency
+		sum.ReqLatency = &lat
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"ddio/internal/exp"
 	"ddio/internal/plot"
@@ -99,6 +100,7 @@ type Server struct {
 	flight *flightGroup
 	jobs   *jobTable
 	sem    chan struct{} // concurrency slots; holders are "running"
+	httpm  *httpMetrics  // per-endpoint durations and response formats
 
 	// runCell executes one cell for real (exp.Run); tests substitute it
 	// to count executions and to stub simulation cost.
@@ -121,6 +123,7 @@ func New(cfg Config) *Server {
 		flight:  newFlightGroup(),
 		jobs:    newJobTable(cfg.JobHistory),
 		sem:     make(chan struct{}, cfg.Concurrency),
+		httpm:   newHTTPMetrics(),
 		runCell: exp.Run,
 	}
 	mux := http.NewServeMux()
@@ -136,8 +139,13 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, timing every request into the
+// per-endpoint duration histogram exposed at GET /metrics.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.mux.ServeHTTP(w, r)
+	s.httpm.observe(endpointLabel(r.URL.Path), time.Since(start).Seconds())
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Log != nil {
@@ -271,10 +279,12 @@ func renderSweep(res *exp.SweepResult, format string) (body []byte, contentType 
 		// == the CLI's <spec>.svg artifact.
 		return []byte(plot.SweepFigure(res)), "image/svg+xml", nil
 	case "timesvg":
-		// == the CLI's <spec>-time.svg artifact (degradation sweeps).
+		// == the CLI's <spec>-time.svg artifact: completion time for a
+		// degradation sweep, request-latency percentiles for a workload
+		// sweep.
 		svg := plot.SweepTimeFigure(res)
 		if svg == "" {
-			return nil, "", fmt.Errorf("serve: format timesvg needs a degradation sweep (a faults template)")
+			return nil, "", fmt.Errorf("serve: format timesvg needs a degradation sweep (a faults template) or a workload sweep")
 		}
 		return []byte(svg), "image/svg+xml", nil
 	}
@@ -320,9 +330,9 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if format == "timesvg" && spec.Faults == nil {
+	if format == "timesvg" && spec.Faults == nil && spec.Workload == nil {
 		httpError(w, http.StatusUnprocessableEntity,
-			fmt.Errorf("serve: format timesvg needs a degradation sweep (a faults template)"))
+			fmt.Errorf("serve: format timesvg needs a degradation sweep (a faults template) or a workload sweep"))
 		return
 	}
 	opts := s.options(q)
@@ -343,7 +353,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := trials
-	for _, f := range []int{len(spec.Values), len(spec.Methods), len(spec.Patterns)} {
+	for _, f := range []int{len(spec.Values), len(spec.Values2), len(spec.Methods), len(spec.Patterns)} {
 		if f > 0 {
 			n *= f
 		}
@@ -418,6 +428,7 @@ func (s *Server) writeJobResult(w http.ResponseWriter, j *job) {
 		httpError(w, http.StatusInternalServerError, fmt.Errorf("%s", v.Error))
 		return
 	}
+	s.httpm.countResponse(v.Kind+"s", v.Format)
 	w.Header().Set("Content-Type", ctype)
 	w.Write(body)
 }
@@ -434,8 +445,8 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	traceFmt := r.URL.Query().Get("trace")
-	if traceFmt != "" && traceFmt != "jsonl" {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown trace format %q", traceFmt))
+	if traceFmt != "" && traceFmt != "jsonl" && traceFmt != "html" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown trace format %q (want jsonl or html)", traceFmt))
 		return
 	}
 	cfg, err := q.Config()
@@ -448,7 +459,11 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	j := s.jobs.add("run", q.Method+"/"+q.Pattern, "run")
+	runFormat := "summary"
+	if traceFmt != "" {
+		runFormat = traceFmt
+	}
+	j := s.jobs.add("run", q.Method+"/"+q.Pattern, runFormat)
 	s.logf("job %s: run %s/%s trace=%q", j.snapshot().ID, q.Method, q.Pattern, traceFmt)
 
 	s.sem <- struct{}{}
@@ -459,7 +474,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		<-s.sem
 	}
 
-	if traceFmt == "jsonl" {
+	if traceFmt != "" {
 		res, rec, err := exp.TracedRun(cfg)
 		s.cellsSimulated.Add(1)
 		release()
@@ -469,17 +484,27 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var buf strings.Builder
-		if err := rec.WriteJSONL(&buf); err != nil {
+		ctype := "application/x-ndjson"
+		if traceFmt == "html" {
+			// The explorable trace viewer — byte-identical to the page
+			// ddiosim -tracehtml writes for the same configuration.
+			ctype = "text/html; charset=utf-8"
+			err = rec.WriteHTML(&buf, exp.TraceTitle(cfg))
+		} else {
+			err = rec.WriteJSONL(&buf)
+		}
+		if err != nil {
 			j.finish(nil, "", 1, 0, err)
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
 		body := []byte(buf.String())
-		j.finish(body, "application/x-ndjson", 1, 0, nil)
+		j.finish(body, ctype, 1, 0, nil)
+		s.httpm.countResponse("runs", traceFmt)
 		w.Header().Set("X-Job-ID", j.snapshot().ID)
 		w.Header().Set("X-Trace-Events", fmt.Sprintf("%d", rec.Len()))
 		w.Header().Set("X-MBps", fmt.Sprintf("%.3f", res.MBps))
-		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Content-Type", ctype)
 		w.Write(body)
 		return
 	}
@@ -493,6 +518,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sum := summarize(res, hits.Load() > 0)
+	attachLatency(sum, res)
 	b, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
 		j.finish(nil, "", 1, hits.Load(), err)
@@ -531,6 +557,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body, ctype, _ := j.result()
+	s.httpm.countResponse("jobs", v.Format)
 	w.Header().Set("Content-Type", ctype)
 	w.Write(body)
 }
@@ -583,6 +610,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "ddiosimd_jobs_active %d\n", st.JobsActive)
 	fmt.Fprintf(&b, "ddiosimd_queue_depth %d\n", st.QueueDepth)
 	fmt.Fprintf(&b, "ddiosimd_queue_capacity %d\n", st.QueueCapacity)
+	s.httpm.emit(&b)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, b.String())
 }

@@ -354,9 +354,58 @@ func TestStatsAndMetrics(t *testing.T) {
 		"ddiosimd_cells_simulated_total 1\n",
 		"ddiosimd_jobs_admitted_total 2\n",
 		fmt.Sprintf("ddiosimd_queue_capacity %d\n", 7),
+		// HTTP layer: both sweeps answered in the default text format,
+		// and the duration histogram saw both (the +Inf bucket and the
+		// count are exact regardless of timing).
+		`ddiosimd_responses_total{endpoint="sweeps",format="text"} 2` + "\n",
+		`ddiosimd_http_request_duration_seconds_bucket{endpoint="sweeps",le="+Inf"} 2` + "\n",
+		`ddiosimd_http_request_duration_seconds_count{endpoint="sweeps"} 2` + "\n",
+		`ddiosimd_http_request_duration_seconds_bucket{endpoint="stats",le="0.001"}`,
+		`ddiosimd_http_request_duration_seconds_sum{endpoint="sweeps"}`,
 	} {
 		if !strings.Contains(mr.Body.String(), line) {
 			t.Fatalf("metrics missing %q in:\n%s", line, mr.Body.String())
+		}
+	}
+
+	// The histogram is cumulative: every bucket line for an endpoint
+	// carries a count no smaller than the previous bound's.
+	var prev int64 = -1
+	for _, line := range strings.Split(mr.Body.String(), "\n") {
+		if !strings.HasPrefix(line, `ddiosimd_http_request_duration_seconds_bucket{endpoint="sweeps"`) {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &n); err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("histogram not cumulative at %q", line)
+		}
+		prev = n
+	}
+	if prev != 2 {
+		t.Fatalf("final sweeps bucket %d, want 2", prev)
+	}
+}
+
+// TestMetricsPerFormatCounters pins the response counters across
+// formats and endpoints: distinct formats count separately, and the
+// run endpoint counts its summary and trace responses.
+func TestMetricsPerFormatCounters(t *testing.T) {
+	s, _ := stubServer(Config{})
+	do(t, s, "POST", "/v1/sweeps", tinySpec)
+	do(t, s, "POST", "/v1/sweeps?format=csv", tinySpec)
+	do(t, s, "POST", "/v1/sweeps?format=csv", tinySpec)
+	do(t, s, "POST", "/v1/runs", `{"method":"tc","pattern":"ra","filemb":1,"cps":2,"iops":2,"disks":2}`)
+	body := do(t, s, "GET", "/metrics", "").Body.String()
+	for _, line := range []string{
+		`ddiosimd_responses_total{endpoint="sweeps",format="text"} 1` + "\n",
+		`ddiosimd_responses_total{endpoint="sweeps",format="csv"} 2` + "\n",
+		`ddiosimd_responses_total{endpoint="runs",format="summary"} 1` + "\n",
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics missing %q in:\n%s", line, body)
 		}
 	}
 }

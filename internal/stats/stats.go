@@ -5,7 +5,10 @@
 // variation is 0.14").
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
 func Mean(xs []float64) float64 {
@@ -43,9 +46,55 @@ func CV(xs []float64) float64 {
 	return Stddev(xs) / m
 }
 
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation between closest ranks (the R-7 / numpy default rule):
+// with n sorted samples, the quantile sits at fractional rank q·(n−1).
+// It is deterministic for a given sample, never mutates xs, and returns
+// 0 for an empty sample. q is clamped into [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Percentiles returns the p50, p90, and p99 of xs in one pass over a
+// single sorted copy — the three latency percentiles the experiment
+// harness reports for open-arrival workload runs.
+func Percentiles(xs []float64) (p50, p90, p99 float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, 0.50), quantileSorted(sorted, 0.90), quantileSorted(sorted, 0.99)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if frac == 0 || lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
 // Summary holds descriptive statistics of one sample. It marshals to
 // JSON with stable snake_case keys — the experiment harness embeds it in
-// machine-readable sweep results (one Summary per table cell).
+// machine-readable sweep results (one Summary per table cell). The
+// percentile fields are populated only by SummarizePercentiles (latency
+// samples); bandwidth cells summarized with Summarize omit them.
 type Summary struct {
 	N      int     `json:"n"`
 	Mean   float64 `json:"mean"`
@@ -53,9 +102,13 @@ type Summary struct {
 	CV     float64 `json:"cv"`
 	Min    float64 `json:"min"`
 	Max    float64 `json:"max"`
+	P50    float64 `json:"p50,omitempty"`
+	P90    float64 `json:"p90,omitempty"`
+	P99    float64 `json:"p99,omitempty"`
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. It leaves the percentile fields
+// zero — use SummarizePercentiles for latency-style samples.
 func Summarize(xs []float64) Summary {
 	s := Summary{N: len(xs), Mean: Mean(xs), Stddev: Stddev(xs), CV: CV(xs)}
 	for i, x := range xs {
@@ -67,4 +120,48 @@ func Summarize(xs []float64) Summary {
 		}
 	}
 	return s
+}
+
+// SummarizePercentiles computes a Summary of xs with the P50/P90/P99
+// fields populated.
+func SummarizePercentiles(xs []float64) Summary {
+	s := Summarize(xs)
+	s.P50, s.P90, s.P99 = Percentiles(xs)
+	return s
+}
+
+// Combine merges per-trial Summaries of one metric into a cross-trial
+// Summary: N sums, Min/Max span the trials, Mean and the percentiles
+// average the per-trial values with equal weight (exact for Mean when
+// trials are equal-sized; a deterministic approximation for the
+// percentiles, which cannot be recovered from summaries alone), and
+// Stddev/CV describe the spread of the per-trial means — the same
+// trial-to-trial variability the throughput cells report.
+func Combine(ss []Summary) Summary {
+	if len(ss) == 0 {
+		return Summary{}
+	}
+	means := make([]float64, len(ss))
+	var out Summary
+	for i, s := range ss {
+		means[i] = s.Mean
+		out.N += s.N
+		out.P50 += s.P50
+		out.P90 += s.P90
+		out.P99 += s.P99
+		if i == 0 || s.Min < out.Min {
+			out.Min = s.Min
+		}
+		if i == 0 || s.Max > out.Max {
+			out.Max = s.Max
+		}
+	}
+	n := float64(len(ss))
+	out.Mean = Mean(means)
+	out.Stddev = Stddev(means)
+	out.CV = CV(means)
+	out.P50 /= n
+	out.P90 /= n
+	out.P99 /= n
+	return out
 }

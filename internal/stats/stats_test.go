@@ -38,6 +38,68 @@ func TestCV(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []float64{7}, 0.5, 7},
+		{"single p99", []float64{7}, 0.99, 7},
+		{"two median", []float64{10, 20}, 0.5, 15},
+		{"interpolation", []float64{10, 20, 30, 40}, 0.25, 17.5},
+		{"exact rank", []float64{10, 20, 30}, 0.5, 20},
+		{"ties", []float64{5, 5, 5, 5}, 0.9, 5},
+		{"ties mixed", []float64{1, 2, 2, 2, 3}, 0.5, 2},
+		{"p90 of 1..10", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.9, 9.1},
+		{"q below 0 clamps", []float64{3, 1, 2}, -1, 1},
+		{"q above 1 clamps", []float64{3, 1, 2}, 2, 3},
+		{"unsorted input", []float64{30, 10, 20}, 0.5, 20},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Quantile(%v, %v) = %v, want %v", c.name, c.xs, c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	p50, p90, p99 := Percentiles(nil)
+	if p50 != 0 || p90 != 0 || p99 != 0 {
+		t.Fatal("empty percentiles should be zero")
+	}
+	xs := make([]float64, 101) // 0..100: pK is exactly K
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	p50, p90, p99 = Percentiles(xs)
+	if p50 != 50 || p90 != 90 || p99 != 99 {
+		t.Fatalf("percentiles of 0..100 = %v %v %v", p50, p90, p99)
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	s := SummarizePercentiles([]float64{10, 20, 30})
+	if s.N != 3 || s.Mean != 20 || s.P50 != 20 || s.P90 != 28 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Plain Summarize must leave percentiles zero: the sweep JSON for
+	// bandwidth cells omits them (omitempty) and is pinned by goldens.
+	if p := Summarize([]float64{10, 20, 30}); p.P50 != 0 || p.P90 != 0 || p.P99 != 0 {
+		t.Fatalf("Summarize populated percentiles: %+v", p)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{3, 1, 2})
 	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 {

@@ -1,0 +1,266 @@
+package trace
+
+// derived_test.go covers the viewer-feeding derived views — queue-depth
+// percentile series, occupancy, pool timelines, critical paths, the
+// HTML emitter — including the edge cases an empty or minimal trace
+// exercises: no events, zero horizon, single-event timelines.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDerivedSeriesEmptyRecorder(t *testing.T) {
+	r := New()
+	qs := r.QueueDepthSeries(0)
+	if len(qs) != 3 {
+		t.Fatalf("%d queue series, want 3", len(qs))
+	}
+	for _, s := range qs {
+		if len(s.Y) != 1 || s.Y[0] != 0 {
+			t.Fatalf("empty-trace series %q = %v, want one zero bin", s.Name, s.Y)
+		}
+	}
+	occ := r.OccupancySeries(0)
+	if len(occ.Y) != 1 || occ.Y[0] != 0 {
+		t.Fatalf("empty occupancy = %v", occ.Y)
+	}
+	if tls := r.PoolTimelines(0); tls != nil {
+		t.Fatalf("empty pool timelines = %v", tls)
+	}
+	if cp := r.CriticalPaths(); cp != nil {
+		t.Fatalf("empty critical paths = %v", cp)
+	}
+	var nilRec *Recorder
+	if cp := nilRec.CriticalPaths(); cp != nil {
+		t.Fatalf("nil critical paths = %v", cp)
+	}
+	if tls := nilRec.PoolTimelines(0); tls != nil {
+		t.Fatalf("nil pool timelines = %v", tls)
+	}
+}
+
+// TestDerivedSeriesShortHorizon pins the single-event / tiny-horizon
+// edges: one instantaneous sample still yields one bin, and a
+// zero-duration trace does not divide by zero anywhere.
+func TestDerivedSeriesShortHorizon(t *testing.T) {
+	r := New()
+	r.DiskQueue("d0", 0, 3) // single event at t=0: horizon 0
+	qs := r.QueueDepthSeries(0)
+	for _, s := range qs {
+		if len(s.Y) != 1 || s.Y[0] != 3 {
+			t.Fatalf("single-sample series %q = %v, want [3]", s.Name, s.Y)
+		}
+	}
+	r2 := New()
+	r2.PoolBusy("tc-svc:IOP0", 0, 0) // zero-length busy span
+	tls := r2.PoolTimelines(0)
+	if len(tls) != 1 || tls[0].Util != 0 {
+		t.Fatalf("zero-horizon pool timeline = %+v", tls)
+	}
+	var sb strings.Builder
+	if err := r2.WriteHTML(&sb, "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"horizon_ms":0`) {
+		t.Fatal("zero-horizon page lacks horizon_ms 0")
+	}
+}
+
+func TestQueueDepthSeriesCarryForward(t *testing.T) {
+	r := New()
+	r.DiskQueue("d0", 100, 4)
+	r.DiskQueue("d0", 950, 2)
+	qs := r.QueueDepthSeries(100) // horizon 950 → 10 bins
+	p50 := qs[0]
+	if len(p50.Y) != 10 {
+		t.Fatalf("%d bins, want 10", len(p50.Y))
+	}
+	want := []float64{0, 4, 4, 4, 4, 4, 4, 4, 4, 2}
+	for i, v := range p50.Y {
+		if v != want[i] {
+			t.Fatalf("p50 bin %d = %v, want %v (carry-forward)", i, p50.Y[i], want[i])
+		}
+	}
+	// With several samples in one bin the three series diverge.
+	r2 := New()
+	for d := 1; d <= 10; d++ {
+		r2.DiskQueue("d0", int64(d), d)
+	}
+	r2.DiskQueue("d0", 100, 1)
+	qs2 := r2.QueueDepthSeries(50)
+	if p50, p99 := qs2[0].Y[0], qs2[2].Y[0]; p50 >= p99 {
+		t.Fatalf("p50 %v >= p99 %v over spread samples", p50, p99)
+	}
+}
+
+func TestOccupancySeriesFractionAndCarry(t *testing.T) {
+	r := New()
+	r.Buffer("IOP0", 100, 10, 20) // 0.5
+	r.Buffer("IOP1", 150, 20, 20) // 1.0 — same bin, mean 0.75
+	r.Buffer("IOP0", 950, 5, 20)  // 0.25 in the last bin
+	r.Buffer("IOP0", 500, 7, 0)   // zero capacity: skipped
+	occ := r.OccupancySeries(100) // horizon 950 → 10 bins
+	if len(occ.Y) != 10 {
+		t.Fatalf("%d bins, want 10", len(occ.Y))
+	}
+	if occ.Y[1] != 0.75 {
+		t.Fatalf("bin 1 = %v, want 0.75", occ.Y[1])
+	}
+	if occ.Y[5] != 0.75 {
+		t.Fatalf("bin 5 = %v, want 0.75 carried forward past the skipped sample", occ.Y[5])
+	}
+	if occ.Y[9] != 0.25 {
+		t.Fatalf("bin 9 = %v, want 0.25", occ.Y[9])
+	}
+}
+
+func TestPoolTimelinesMergeOverlap(t *testing.T) {
+	r := New()
+	r.PoolBusy("tc-svc:IOP0", 0, 400)
+	r.PoolBusy("tc-svc:IOP0", 200, 600) // overlaps → one merged span
+	r.PoolBusy("tc-svc:IOP0", 800, 900)
+	r.PoolBusy("tc-svc:IOP1", 100, 200)
+	tls := r.PoolTimelines(1000)
+	if len(tls) != 2 {
+		t.Fatalf("%d pools, want 2", len(tls))
+	}
+	if len(tls[0].Busy) != 2 || tls[0].Busy[0] != (Interval{0, 600}) || tls[0].Busy[1] != (Interval{800, 900}) {
+		t.Fatalf("merged spans %v", tls[0].Busy)
+	}
+	if tls[0].Util != 0.7 {
+		t.Fatalf("util %v, want 0.7", tls[0].Util)
+	}
+	if tls[1].Name != "tc-svc:IOP1" {
+		t.Fatalf("pool order %q", tls[1].Name)
+	}
+}
+
+// TestCriticalPathPartition pins the decomposition on a hand-built
+// request: the four buckets land on the constructed spans and always
+// sum to the end-to-end latency.
+func TestCriticalPathPartition(t *testing.T) {
+	r := New()
+	r.RequestEnd("IOP0", 7, 0, 1000)
+	r.DiskService("d0", 200, 400, false, 8192, 1) // Disk: [200,400)
+	r.PoolBusy("tc-svc:IOP0", 100, 500)           // Service: [100,200)+[400,500)
+	r.Retry("IOP0", 600, 700, 1)                  // Retry: [600,700)
+	cps := r.CriticalPaths()
+	if len(cps) != 1 {
+		t.Fatalf("%d paths, want 1", len(cps))
+	}
+	p := cps[0]
+	if p.Node != "IOP0" || p.ID != 7 {
+		t.Fatalf("identity %s/%d", p.Node, p.ID)
+	}
+	if p.Disk != 200 || p.Retry != 100 || p.Service != 200 || p.Queue != 500 {
+		t.Fatalf("decomposition disk=%d retry=%d service=%d queue=%d, want 200/100/200/500",
+			p.Disk, p.Retry, p.Service, p.Queue)
+	}
+	if sum := p.Disk + p.Retry + p.Service + p.Queue; sum != p.End-p.Start {
+		t.Fatalf("buckets sum %d != latency %d", sum, p.End-p.Start)
+	}
+}
+
+// TestCriticalPathNodeScoping pins that retries and pool activity
+// attribute only to requests on the same server node.
+func TestCriticalPathNodeScoping(t *testing.T) {
+	r := New()
+	r.RequestEnd("IOP0", 1, 0, 100)
+	r.RequestEnd("IOP1", 2, 0, 100)
+	r.Retry("IOP0", 20, 40, 1)
+	r.PoolBusy("dd-work:IOP1", 50, 80)
+	cps := r.CriticalPaths()
+	if len(cps) != 2 {
+		t.Fatalf("%d paths, want 2", len(cps))
+	}
+	byNode := map[string]CriticalPath{}
+	for _, p := range cps {
+		byNode[p.Node] = p
+	}
+	if p := byNode["IOP0"]; p.Retry != 20 || p.Service != 0 {
+		t.Fatalf("IOP0 retry=%d service=%d, want 20/0", p.Retry, p.Service)
+	}
+	if p := byNode["IOP1"]; p.Retry != 0 || p.Service != 30 {
+		t.Fatalf("IOP1 retry=%d service=%d, want 0/30", p.Retry, p.Service)
+	}
+}
+
+func TestNewFilteredKeepsOnlyListedKinds(t *testing.T) {
+	r := NewFiltered(KindReqEnd)
+	r.DiskService("d0", 0, 10, false, 8192, 1)
+	r.DiskQueue("d0", 0, 1)
+	r.NetMsg("CP0", "IOP0", 5, 64)
+	r.RequestEnd("IOP0", 1, 0, 10)
+	if r.Len() != 1 || r.Events()[0].Kind != KindReqEnd {
+		t.Fatalf("filtered recorder kept %d events: %+v", r.Len(), r.Events())
+	}
+	if lat := r.RequestLatencies(); lat.N != 1 {
+		t.Fatalf("latencies over filtered trace: %+v", lat)
+	}
+	// No kinds = keep everything, exactly like New.
+	all := NewFiltered()
+	all.DiskQueue("d0", 0, 1)
+	all.RequestEnd("IOP0", 1, 0, 10)
+	if all.Len() != 2 {
+		t.Fatalf("unfiltered NewFiltered kept %d events, want 2", all.Len())
+	}
+}
+
+// TestWriteHTMLDeterministicAndSelfContained pins the viewer page: two
+// emissions of the same trace are byte-identical, the payload carries
+// every section, and the page references no external assets.
+func TestWriteHTMLDeterministicAndSelfContained(t *testing.T) {
+	build := func() *Recorder {
+		r := New()
+		r.RegisterDisk("d0")
+		r.DiskService("d0", 100, 400, false, 8192, 1)
+		r.DiskQueue("d0", 100, 2)
+		r.PoolBusy("tc-svc:IOP0", 50, 450)
+		r.Buffer("IOP0", 200, 10, 20)
+		r.RequestEnd("IOP0", 1, 0, 500)
+		r.Retry("IOP0", 420, 450, 1)
+		return r
+	}
+	var a, b strings.Builder
+	if err := build().WriteHTML(&a, "t <&> title"); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteHTML(&b, "t <&> title"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("HTML viewer output is not deterministic")
+	}
+	page := a.String()
+	for _, want := range []string{
+		"<title>t &lt;&amp;&gt; title — ddio trace</title>", // escaped title
+		`"total_requests":1`,
+		`"disks":[{"name":"d0"`,
+		`"pools":[{"name":"tc-svc:IOP0"`,
+		`"queue depth p50"`,
+		`"cache occupancy"`,
+		`"disk_ms"`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page lacks %q", want)
+		}
+	}
+	for _, banned := range []string{"http://", "https://", "<script src", "<link"} {
+		if strings.Contains(page, banned) {
+			t.Errorf("page references external asset: %q", banned)
+		}
+	}
+	// json.Marshal's <>& escaping keeps the payload from closing its own
+	// script tag: the raw title "<&>" must appear escaped in the blob.
+	if strings.Contains(page, `"title":"t <`) {
+		t.Error("payload embeds unescaped '<' inside the script tag")
+	}
+	var empty strings.Builder
+	if err := New().WriteHTML(&empty, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), `"total_requests":0`) {
+		t.Fatal("empty-trace page malformed")
+	}
+}

@@ -207,7 +207,7 @@ func spread(bins []float64, bin, start, end int64, total float64) {
 }
 
 // RequestLatencies summarizes server-side request latencies (seconds)
-// from KindReqEnd events.
+// from KindReqEnd events, with the p50/p90/p99 fields populated.
 func (r *Recorder) RequestLatencies() stats.Summary {
 	var xs []float64
 	for _, e := range r.Events() {
@@ -215,7 +215,131 @@ func (r *Recorder) RequestLatencies() stats.Summary {
 			xs = append(xs, float64(e.End-e.T)/1e9)
 		}
 	}
-	return stats.Summarize(xs)
+	return stats.SummarizePercentiles(xs)
+}
+
+// QueueDepthSeries returns the p50/p90/p99 of disk queue depth per time
+// bin, over the KindDiskQueue samples of all disks. Bins without a
+// sample carry the previous bin's value forward (a queue keeps its
+// depth between submissions), starting from 0. bin <= 0 picks 1/100 of
+// the horizon.
+func (r *Recorder) QueueDepthSeries(bin int64) []Series {
+	horizon := r.End()
+	if bin <= 0 {
+		bin = horizon / 100
+		if bin <= 0 {
+			bin = 1
+		}
+	}
+	n := numBins(horizon, bin)
+	samples := make([][]float64, n)
+	for _, e := range r.Events() {
+		if e.Kind != KindDiskQueue {
+			continue
+		}
+		i := int(e.T / bin)
+		if i >= n {
+			i = n - 1
+		}
+		samples[i] = append(samples[i], float64(e.Depth))
+	}
+	quantiles := []struct {
+		name string
+		q    float64
+	}{
+		{"queue depth p50", 0.50},
+		{"queue depth p90", 0.90},
+		{"queue depth p99", 0.99},
+	}
+	out := make([]Series, len(quantiles))
+	for k, qq := range quantiles {
+		s := Series{Name: qq.name, Bin: bin, Y: make([]float64, n)}
+		var last float64
+		for i := range s.Y {
+			if len(samples[i]) > 0 {
+				last = stats.Quantile(samples[i], qq.q)
+			}
+			s.Y[i] = last
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// OccupancySeries returns mean buffer/cache occupancy (fraction of
+// capacity, 0..1) per time bin over the KindBuffer samples of all
+// nodes. Bins without a sample carry the previous value forward. bin
+// <= 0 picks 1/100 of the horizon.
+func (r *Recorder) OccupancySeries(bin int64) Series {
+	horizon := r.End()
+	if bin <= 0 {
+		bin = horizon / 100
+		if bin <= 0 {
+			bin = 1
+		}
+	}
+	n := numBins(horizon, bin)
+	sum := make([]float64, n)
+	cnt := make([]int, n)
+	for _, e := range r.Events() {
+		if e.Kind != KindBuffer || e.Depth <= 0 {
+			continue
+		}
+		i := int(e.T / bin)
+		if i >= n {
+			i = n - 1
+		}
+		sum[i] += float64(e.Bytes) / float64(e.Depth)
+		cnt[i]++
+	}
+	s := Series{Name: "cache occupancy", Bin: bin, Y: make([]float64, n)}
+	var last float64
+	for i := range s.Y {
+		if cnt[i] > 0 {
+			last = sum[i] / float64(cnt[i])
+		}
+		s.Y[i] = last
+	}
+	return s
+}
+
+// PoolTimelines returns one Timeline per service pool from KindPoolBusy
+// events, in first-appearance order. A pool runs several workers, so
+// its raw busy intervals overlap; each timeline carries the merged
+// union (the "at least one worker busy" view) and its utilization over
+// [0, horizon] (horizon <= 0 uses End()).
+func (r *Recorder) PoolTimelines(horizon int64) []Timeline {
+	if r == nil {
+		return nil
+	}
+	if horizon <= 0 {
+		horizon = r.End()
+	}
+	index := map[string]int{}
+	var tls []Timeline
+	for _, e := range r.Events() {
+		if e.Kind != KindPoolBusy {
+			continue
+		}
+		i, ok := index[e.Node]
+		if !ok {
+			i = len(tls)
+			index[e.Node] = i
+			tls = append(tls, Timeline{Name: e.Node})
+		}
+		tls[i].Busy = append(tls[i].Busy, Interval{Start: e.T, End: e.End})
+	}
+	for i := range tls {
+		tls[i].Busy = mergeIntervals(tls[i].Busy)
+		var busy int64
+		for _, iv := range tls[i].Busy {
+			busy += iv.End - iv.Start
+		}
+		if horizon > 0 {
+			tls[i].Util = float64(busy) / float64(horizon)
+		}
+	}
+	return tls
 }
 
 // LinkTotal aggregates one directed interconnect link's traffic.

@@ -114,6 +114,7 @@ type Event struct {
 type Recorder struct {
 	events []Event
 	disks  []string // registered disks, in construction order
+	mask   uint32   // kind-filter bitmask; 0 records every kind
 }
 
 // RegisterDisk declares a disk before any activity, so a drive that
@@ -131,6 +132,24 @@ func (r *Recorder) RegisterDisk(name string) {
 
 // New returns an empty enabled recorder.
 func New() *Recorder { return &Recorder{} }
+
+// NewFiltered returns a recorder that retains only the listed event
+// kinds and discards the rest at the instrumentation point — the cheap
+// way to collect one derived view (say, request latencies from
+// KindReqEnd) without holding the full event stream of a long run.
+// With no kinds it behaves exactly like New.
+func NewFiltered(kinds ...Kind) *Recorder {
+	r := &Recorder{}
+	for _, k := range kinds {
+		r.mask |= 1 << k
+	}
+	return r
+}
+
+// keeps reports whether the recorder retains events of kind k.
+func (r *Recorder) keeps(k Kind) bool {
+	return r != nil && (r.mask == 0 || r.mask&(1<<k) != 0)
+}
 
 // Enabled reports whether the recorder actually records (false for nil).
 func (r *Recorder) Enabled() bool { return r != nil }
@@ -160,7 +179,7 @@ func (r *Recorder) add(e Event) {
 
 // DiskService records one disk request's service interval.
 func (r *Recorder) DiskService(disk string, start, end int64, write bool, bytes int64, depth int) {
-	if r == nil {
+	if !r.keeps(KindDiskService) {
 		return
 	}
 	r.add(Event{Kind: KindDiskService, T: start, End: end, Node: disk, Write: write, Bytes: bytes, Depth: int64(depth)})
@@ -168,7 +187,7 @@ func (r *Recorder) DiskService(disk string, start, end int64, write bool, bytes 
 
 // DiskQueue records a disk's queue depth after a request was submitted.
 func (r *Recorder) DiskQueue(disk string, t int64, depth int) {
-	if r == nil {
+	if !r.keeps(KindDiskQueue) {
 		return
 	}
 	r.add(Event{Kind: KindDiskQueue, T: t, Node: disk, Depth: int64(depth)})
@@ -176,7 +195,7 @@ func (r *Recorder) DiskQueue(disk string, t int64, depth int) {
 
 // DiskSeek records one arm movement.
 func (r *Recorder) DiskSeek(disk string, t, cyls int64) {
-	if r == nil {
+	if !r.keeps(KindDiskSeek) {
 		return
 	}
 	r.add(Event{Kind: KindDiskSeek, T: t, Node: disk, Cyls: cyls})
@@ -184,7 +203,7 @@ func (r *Recorder) DiskSeek(disk string, t, cyls int64) {
 
 // RequestStart records a file-system request arriving at a server.
 func (r *Recorder) RequestStart(node string, id, t int64, write bool, bytes int64) {
-	if r == nil {
+	if !r.keeps(KindReqStart) {
 		return
 	}
 	r.add(Event{Kind: KindReqStart, T: t, Node: node, ID: id, Write: write, Bytes: bytes})
@@ -194,7 +213,7 @@ func (r *Recorder) RequestStart(node string, id, t int64, write bool, bytes int6
 // start is the matching RequestStart time, so the event carries the
 // full latency interval.
 func (r *Recorder) RequestEnd(node string, id, start, end int64) {
-	if r == nil {
+	if !r.keeps(KindReqEnd) {
 		return
 	}
 	r.add(Event{Kind: KindReqEnd, T: start, End: end, Node: node, ID: id})
@@ -202,7 +221,7 @@ func (r *Recorder) RequestEnd(node string, id, start, end int64) {
 
 // PoolBusy records one service-pool work item's busy interval.
 func (r *Recorder) PoolBusy(pool string, start, end int64) {
-	if r == nil {
+	if !r.keeps(KindPoolBusy) {
 		return
 	}
 	r.add(Event{Kind: KindPoolBusy, T: start, End: end, Node: pool})
@@ -210,7 +229,7 @@ func (r *Recorder) PoolBusy(pool string, start, end int64) {
 
 // Buffer samples buffer/cache occupancy (used of capacity) at a node.
 func (r *Recorder) Buffer(node string, t int64, used, capacity int) {
-	if r == nil {
+	if !r.keeps(KindBuffer) {
 		return
 	}
 	r.add(Event{Kind: KindBuffer, T: t, Node: node, Bytes: int64(used), Depth: int64(capacity)})
@@ -218,7 +237,7 @@ func (r *Recorder) Buffer(node string, t int64, used, capacity int) {
 
 // NetMsg records one interconnect message at send time.
 func (r *Recorder) NetMsg(src, dst string, t, bytes int64) {
-	if r == nil {
+	if !r.keeps(KindNetMsg) {
 		return
 	}
 	r.add(Event{Kind: KindNetMsg, T: t, Node: src, Peer: dst, Bytes: bytes})
@@ -227,7 +246,7 @@ func (r *Recorder) NetMsg(src, dst string, t, bytes int64) {
 // Fault records one injected fault at a component; class is the stable
 // fault label ("disk-err", "msg-drop", "net-spike"), carried in Peer.
 func (r *Recorder) Fault(node string, t int64, class string) {
-	if r == nil {
+	if !r.keeps(KindFault) {
 		return
 	}
 	r.add(Event{Kind: KindFault, T: t, Node: node, Peer: class})
@@ -237,7 +256,7 @@ func (r *Recorder) Fault(node string, t int64, class string) {
 // end] spans the modeled backoff sleep before resubmission number
 // attempt (1-based).
 func (r *Recorder) Retry(node string, start, end int64, attempt int) {
-	if r == nil {
+	if !r.keeps(KindRetry) {
 		return
 	}
 	r.add(Event{Kind: KindRetry, T: start, End: end, Node: node, Depth: int64(attempt)})
